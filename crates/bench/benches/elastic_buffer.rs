@@ -1,0 +1,80 @@
+//! Elastic buffer microbenches: push/pop, drain, and the grow/shrink
+//! resizing path against the shared pool (§V-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pc_queues::{ElasticBuffer, GlobalPool};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_elastic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_buffer");
+    group.sample_size(20);
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push_pop_10k", |b| {
+        let pool = GlobalPool::new(64);
+        let mut buf = ElasticBuffer::<u64>::new(Arc::clone(&pool), 50).unwrap();
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                if buf.push(i).is_err() {
+                    while buf.pop().is_some() {}
+                    buf.push(i).unwrap();
+                }
+            }
+            while buf.pop().is_some() {}
+        });
+    });
+
+    group.bench_function("drain_50", |b| {
+        let pool = GlobalPool::new(64);
+        let mut buf = ElasticBuffer::<u64>::new(Arc::clone(&pool), 50).unwrap();
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            for i in 0..50u64 {
+                buf.push(i).unwrap();
+            }
+            out.clear();
+            black_box(buf.drain_into(&mut out));
+        });
+    });
+
+    for span in [10usize, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("grow_shrink_cycle", span),
+            &span,
+            |b, &span| {
+                let pool = GlobalPool::new(500);
+                let mut buf = ElasticBuffer::<u64>::new(Arc::clone(&pool), 50).unwrap();
+                b.iter(|| {
+                    black_box(buf.grow_to(50 + span));
+                    black_box(buf.shrink_to(50 - span));
+                });
+            },
+        );
+    }
+
+    group.bench_function("pool_contention_4_threads", |b| {
+        b.iter(|| {
+            let pool = GlobalPool::new(1000);
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    std::thread::spawn(move || {
+                        for _ in 0..5_000 {
+                            let got = pool.try_reserve(7);
+                            pool.release(got);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_elastic);
+criterion_main!(benches);

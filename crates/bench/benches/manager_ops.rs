@@ -1,0 +1,56 @@
+//! Core-manager microbenches: reserve/deregister/take churn at realistic
+//! and adversarial consumer counts (§V-B argues these are lightweight).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_core::{CoreManager, PairId, SlotTrack};
+use pc_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_manager(c: &mut Criterion) {
+    let track = SlotTrack::new(SimDuration::from_millis(25));
+    let mut group = c.benchmark_group("manager_ops");
+
+    for consumers in [5usize, 50, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("reserve_rotate", consumers),
+            &consumers,
+            |b, &n| {
+                let mut mgr = CoreManager::new(track);
+                let mut slot = 1u64;
+                b.iter(|| {
+                    for k in 0..n {
+                        mgr.reserve(slot + (k as u64 % 7), PairId(k));
+                    }
+                    slot += 1;
+                    black_box(mgr.first_reserved())
+                });
+            },
+        );
+    }
+
+    group.bench_function("take_due_5", |b| {
+        let mut mgr = CoreManager::new(track);
+        let mut slot = 1u64;
+        b.iter(|| {
+            for k in 0..5 {
+                mgr.reserve(slot, PairId(k));
+            }
+            let due = mgr.take_due(slot);
+            slot += 1;
+            black_box(due)
+        });
+    });
+
+    group.bench_function("latest_reserved_in", |b| {
+        let mut mgr = CoreManager::new(track);
+        for k in 0..64 {
+            mgr.reserve(k as u64 * 3 + 1, PairId(k));
+        }
+        b.iter(|| black_box(mgr.latest_reserved_in(black_box(10), black_box(150))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_manager);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Rate-predictor microbenches: the per-invocation cost of each
+//! estimator. The paper picks the moving average for its "very low
+//! overhead" — this bench quantifies that choice against EWMA and the
+//! §VIII Kalman filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_core::{Ewma, Kalman, MovingAverage, RatePredictor};
+use pc_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_observe_rate");
+    let dt = SimDuration::from_millis(25);
+
+    group.bench_function("moving_average_h8", |b| {
+        let mut p = MovingAverage::new(8, 0.0);
+        b.iter(|| {
+            p.observe(black_box(46), dt);
+            black_box(p.rate())
+        });
+    });
+    group.bench_function("ewma", |b| {
+        let mut p = Ewma::new(0.35, 0.0);
+        b.iter(|| {
+            p.observe(black_box(46), dt);
+            black_box(p.rate())
+        });
+    });
+    group.bench_function("kalman", |b| {
+        let mut p = Kalman::new(4.0e5, 4.0e6, 0.0);
+        b.iter(|| {
+            p.observe(black_box(46), dt);
+            black_box(p.rate())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

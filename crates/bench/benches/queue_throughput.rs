@@ -1,0 +1,87 @@
+//! Queue substrate microbenches: the lock-free SPSC ring versus the
+//! Mutex and Sem queues that §III builds its strategies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pc_queues::{spsc_ring, MutexQueue, SemQueue};
+use std::sync::Arc;
+use std::thread;
+
+const ITEMS: u64 = 20_000;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_throughput");
+    group.throughput(Throughput::Elements(ITEMS));
+    // Each iteration spawns real threads and moves 20k items; keep the
+    // sample count low or the suite takes tens of minutes.
+    group.sample_size(10);
+    for capacity in [25usize, 100, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("spsc_ring", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let (p, con) = spsc_ring::<u64>(cap);
+                    let producer = thread::spawn(move || {
+                        for i in 0..ITEMS {
+                            let mut v = i;
+                            while let Err(back) = p.push(v) {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                    let mut seen = 0u64;
+                    while seen < ITEMS {
+                        if con.pop().is_some() {
+                            seen += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    producer.join().unwrap();
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex_queue", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let q = Arc::new(MutexQueue::<u64>::new(cap));
+                    let qp = Arc::clone(&q);
+                    let producer = thread::spawn(move || {
+                        for i in 0..ITEMS {
+                            qp.push(i);
+                        }
+                    });
+                    for _ in 0..ITEMS {
+                        q.pop();
+                    }
+                    producer.join().unwrap();
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sem_queue", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let (qp, qc) = SemQueue::<u64>::new(cap);
+                    let producer = thread::spawn(move || {
+                        for i in 0..ITEMS {
+                            qp.push(i);
+                        }
+                    });
+                    for _ in 0..ITEMS {
+                        qc.pop();
+                    }
+                    producer.join().unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spsc);
+criterion_main!(benches);

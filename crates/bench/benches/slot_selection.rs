@@ -1,0 +1,52 @@
+//! Slot selection microbenches: the ρ cost function and the backtracking
+//! search against reservation books of varying occupancy (§V-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_core::{select_slot, CoreManager, CostModel, PairId, SlotTrack};
+use pc_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let track = SlotTrack::new(SimDuration::from_millis(25));
+    let cost = CostModel {
+        wakeup_energy_j: 120e-6,
+        item_energy_j: 3.2e-6,
+    };
+    let mut group = c.benchmark_group("slot_selection");
+
+    for reservations in [0usize, 4, 16, 64] {
+        let mut manager = CoreManager::new(track);
+        for k in 0..reservations {
+            manager.reserve((k as u64 % 8) + 1, PairId(k));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("select_slot", reservations),
+            &reservations,
+            |b, _| {
+                let now = SimTime::from_millis(3);
+                b.iter(|| {
+                    black_box(select_slot(
+                        &track,
+                        &manager,
+                        &cost,
+                        now,
+                        black_box(1860.0),
+                        25,
+                        SimDuration::from_millis(100),
+                        true,
+                        None,
+                    ))
+                });
+            },
+        );
+    }
+
+    group.bench_function("rho", |b| {
+        b.iter(|| black_box(cost.rho(black_box(true), black_box(23.0))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

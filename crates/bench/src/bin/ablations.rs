@@ -1,0 +1,168 @@
+//! Ablations — isolating the contribution of each PBPL design choice
+//! (our extension of the paper's evaluation; §VIII motivates the Kalman
+//! variant as future work).
+//!
+//! 1. Latching on/off: without latching PBPL degrades to per-consumer
+//!    periodic batching — the group-wakeup mechanism's whole value.
+//! 2. Dynamic resizing on/off: the overflow-conversion mechanism.
+//! 3. Predictor: the paper's moving average vs EWMA vs a scalar Kalman
+//!    filter.
+//! 4. Slot size Δ: the latency/power trade-off.
+
+use pc_bench::exp::{pct_change, print_header, print_row, save_json, Protocol, Row};
+use pc_core::{Experiment, PbplConfig, PredictorKind, StrategyKind};
+use pc_power::GovernorKind;
+use pc_sim::SimDuration;
+
+fn run_variant(protocol: &Protocol, label: &str, cfg: PbplConfig, rows: &mut Vec<(String, Row)>) {
+    let runs = protocol.run(StrategyKind::Pbpl(cfg), 5, 2, 25);
+    let mut row = Row::from_runs(&runs);
+    row.name = label.to_string();
+    print_row(&row);
+    rows.push((label.to_string(), row));
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let mut rows: Vec<(String, Row)> = Vec::new();
+
+    print_header("Ablations — PBPL variants (M = 5, B = 25)");
+    run_variant(&protocol, "full", PbplConfig::default(), &mut rows);
+    run_variant(
+        &protocol,
+        "-latch",
+        PbplConfig {
+            latching: false,
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "-piggy",
+        PbplConfig {
+            piggyback: false,
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "-resize",
+        PbplConfig {
+            resizing: false,
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "-both",
+        PbplConfig {
+            latching: false,
+            resizing: false,
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "ewma",
+        PbplConfig {
+            predictor: PredictorKind::Ewma { alpha: 0.35 },
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "holt",
+        PbplConfig {
+            predictor: PredictorKind::Holt { alpha: 0.5, beta: 0.25 },
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    run_variant(
+        &protocol,
+        "kalman",
+        PbplConfig {
+            predictor: PredictorKind::Kalman {
+                q: 4.0e5,
+                r: 4.0e6,
+            },
+            ..PbplConfig::default()
+        },
+        &mut rows,
+    );
+    for slot_ms in [10u64, 50] {
+        run_variant(
+            &protocol,
+            &format!("d={slot_ms}ms"),
+            PbplConfig {
+                slot: SimDuration::from_millis(slot_ms),
+                ..PbplConfig::default()
+            },
+            &mut rows,
+        );
+    }
+
+    let full = rows
+        .iter()
+        .find(|(l, _)| l == "full")
+        .map(|(_, r)| r.power_mw.mean)
+        .expect("full row");
+    println!("\n--- power deltas vs full PBPL ---");
+    for (label, row) in &rows {
+        if label != "full" {
+            println!(
+                "{label:>8}: {:+.1}% power, {:+.1}% wakeups",
+                pct_change(row.power_mw.mean, full),
+                pct_change(
+                    row.wakeups_per_sec.mean,
+                    rows.iter()
+                        .find(|(l, _)| l == "full")
+                        .map(|(_, r)| r.wakeups_per_sec.mean)
+                        .expect("full row")
+                ),
+            );
+        }
+    }
+
+    // Governor realism check: the oracle accounting above is post-hoc
+    // optimal; a menu-like predictive governor pays for mispredicted
+    // idles. Grouped wakeups (PBPL) make idle lengths regular, so the
+    // realistic governor should lose *less* on PBPL than on Mutex.
+    println!("\n--- menu governor penalty (realistic cpuidle vs oracle accounting) ---");
+    let menu_penalty = |strategy: StrategyKind| {
+        let run = |gov| {
+            let runs: Vec<f64> = (0..protocol.replicates)
+                .map(|k| {
+                    Experiment::builder()
+                        .pairs(5)
+                        .cores(2)
+                        .duration(protocol.duration)
+                        .strategy(strategy.clone())
+                        .trace(protocol.trace.clone())
+                        .seed(protocol.base_seed + k as u64)
+                        .buffer_capacity(25)
+                        .governor(gov)
+                        .run()
+                        .extra_power_mw()
+                })
+                .collect();
+            runs.iter().sum::<f64>() / runs.len() as f64
+        };
+        let oracle = run(GovernorKind::Oracle);
+        let menu = run(GovernorKind::Menu);
+        (oracle, menu, pct_change(menu, oracle))
+    };
+    for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+        let name = strategy.name();
+        let (oracle, menu, pct) = menu_penalty(strategy);
+        println!("{name:>6}: oracle {oracle:>7.1} mW  menu {menu:>7.1} mW  penalty {pct:+.1}%");
+    }
+
+    let named: Vec<Row> = rows.into_iter().map(|(_, r)| r).collect();
+    save_json("ablations", &named);
+}

@@ -1,0 +1,122 @@
+//! §III-C statistics — the correlation and hypothesis-test analysis
+//! behind Figures 3 & 4.
+//!
+//! Paper values: CPU usage vs power correlates weakly (+12%) once
+//! BW/Yield are excluded; wakeups vs power correlates strongly
+//! positively (+74%) among the five idle-based implementations and
+//! strongly negatively (−79.6%) across all seven (the sign flip is the
+//! BW/Yield bias: they have huge power but few wakeups); the hypothesis
+//! "wakeups have a significant effect on power" is accepted at 99%
+//! confidence.
+
+use pc_bench::exp::{save_json, single_pc_strategies, Protocol, Row};
+use pc_sim::SimRng;
+use pc_stats::{correlation_significance, linear_fit, pearson, ConfidenceLevel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CorrelationReport {
+    corr_wakeups_power_all7: f64,
+    corr_wakeups_power_idle5: f64,
+    corr_usage_power_idle5: f64,
+    noisy_corr_wakeups_power_idle5: f64,
+    noisy_corr_usage_power_idle5: f64,
+    wakeup_effect_significant_99: bool,
+    t_statistic: f64,
+    regression_slope_mw_per_wakeup: Option<f64>,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let buffer = 50;
+    let mean_rate = protocol.trace.mean_rate;
+
+    // Collect (wakeups, usage, power) per replicate per implementation.
+    let mut rows = Vec::new();
+    let mut all7: Vec<(String, f64, f64, f64)> = Vec::new();
+    for strategy in single_pc_strategies(buffer, mean_rate) {
+        let runs = protocol.run(strategy, 1, 1, buffer);
+        for m in &runs {
+            all7.push((
+                m.strategy.clone(),
+                m.wakeups_per_sec(),
+                m.usage_ms_per_sec(),
+                m.extra_power_mw(),
+            ));
+        }
+        rows.push(Row::from_runs(&runs));
+    }
+
+    let idle5: Vec<&(String, f64, f64, f64)> = all7
+        .iter()
+        .filter(|(n, _, _, _)| n != "BW" && n != "Yield")
+        .collect();
+
+    let wk_all: Vec<f64> = all7.iter().map(|r| r.1).collect();
+    let pw_all: Vec<f64> = all7.iter().map(|r| r.3).collect();
+    let wk5: Vec<f64> = idle5.iter().map(|r| r.1).collect();
+    let us5: Vec<f64> = idle5.iter().map(|r| r.2).collect();
+    let pw5: Vec<f64> = idle5.iter().map(|r| r.3).collect();
+
+    let c_all = pearson(&wk_all, &pw_all);
+    let c_wk5 = pearson(&wk5, &pw5);
+    let c_us5 = pearson(&us5, &pw5);
+
+    println!("=== §III-C correlation analysis ===");
+    println!("corr(wakeups, power), all 7 impls:        {:+.1}%  (paper: −79.6%)", c_all * 100.0);
+    println!("corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)", c_wk5 * 100.0);
+    println!("corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)", c_us5 * 100.0);
+
+    let test = correlation_significance(&wk5, &pw5, ConfidenceLevel::P99);
+    let (significant, t_stat) = test
+        .map(|t| (t.significant, t.t_statistic))
+        .unwrap_or((false, f64::NAN));
+    println!(
+        "\nH0: wakeups significantly affect power — {} at 99% (t = {:.2}; paper accepts at 99%)",
+        if significant { "ACCEPTED" } else { "NOT ACCEPTED" },
+        t_stat
+    );
+
+    // Deviation D3 quantified: the simulator is noiseless, so shared
+    // dependence on the workload shows up as near-perfect correlations.
+    // Injecting scope/PowerTop-class measurement noise (the paper's error
+    // bars: "a significant amount of noise … larger error bars" on usage)
+    // reproduces the paper's regime — wakeups stay the strong predictor,
+    // usage decorrelates.
+    let mut rng = SimRng::new(0xD3);
+    let mut noisy = |xs: &[f64], rel: f64| -> Vec<f64> {
+        xs.iter().map(|&x| x + rng.normal(0.0, rel * x.abs().max(1.0))).collect()
+    };
+    let pw5_noisy = noisy(&pw5, 0.08); // ±8% power readout noise
+    let wk5_noisy = noisy(&wk5, 0.05); // PowerTop wakeup sampling noise
+    let us5_noisy = noisy(&us5, 0.50); // PowerTop ms/s is the noisiest readout
+    let nc_wk = pearson(&wk5_noisy, &pw5_noisy);
+    let nc_us = pearson(&us5_noisy, &pw5_noisy);
+    println!("\nwith injected measurement noise (D3 sensitivity):");
+    println!("corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)", nc_wk * 100.0);
+    println!("corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)", nc_us * 100.0);
+
+    let fit = linear_fit(&wk5, &pw5);
+    if let Some(f) = &fit {
+        println!(
+            "power ≈ {:.4} mW per wakeup/s + {:.1} mW   (R² = {:.3})",
+            f.slope, f.intercept, f.r_squared
+        );
+    }
+
+    save_json(
+        "correlations",
+        &CorrelationReport {
+            corr_wakeups_power_all7: c_all,
+            corr_wakeups_power_idle5: c_wk5,
+            corr_usage_power_idle5: c_us5,
+            noisy_corr_wakeups_power_idle5: nc_wk,
+            noisy_corr_usage_power_idle5: nc_us,
+            wakeup_effect_significant_99: significant,
+            t_statistic: t_stat,
+            regression_slope_mw_per_wakeup: fit.map(|f| f.slope),
+            rows,
+        },
+    );
+}

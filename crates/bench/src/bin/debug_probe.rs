@@ -1,0 +1,71 @@
+//! Ad-hoc diagnostic probe used while calibrating the simulator.
+//! Prints the full metric set for each strategy on a shared workload.
+
+use pc_core::{Experiment, PbplConfig, StrategyKind};
+use pc_sim::SimDuration;
+use pc_trace::WorldCupConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration_ms: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let pairs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let cap: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let slot_ms: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let lat_ms: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let margin: f64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1.15);
+    let hist: usize = args.get(7).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let pbpl = StrategyKind::Pbpl(PbplConfig {
+        slot: SimDuration::from_millis(slot_ms),
+        max_latency: SimDuration::from_millis(lat_ms),
+        resize_margin: margin,
+        predictor: pc_core::PredictorKind::MovingAverage { history: hist },
+        ..PbplConfig::default()
+    });
+
+    let strategies = vec![
+        StrategyKind::BusyWait,
+        StrategyKind::Yield,
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::Pbp {
+            period: SimDuration::from_micros(100),
+        },
+        StrategyKind::Spbp {
+            period: SimDuration::from_micros(100),
+        },
+        pbpl,
+    ];
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "strat", "power_mW", "wk/s", "usage", "items", "invoc", "sched", "ovfl", "item_wk", "mean_cap", "lat_us"
+    );
+    for s in strategies {
+        let m = Experiment::builder()
+            .pairs(pairs)
+            .cores(2)
+            .duration(SimDuration::from_millis(duration_ms))
+            .strategy(s.clone())
+            .trace(WorldCupConfig::paper_default())
+            .seed(3)
+            .buffer_capacity(cap)
+            .run();
+        let invoc: u64 = m.pairs.iter().map(|p| p.invocations).sum();
+        let item_wk: u64 = m.pairs.iter().map(|p| p.item_wakeups).sum();
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.2} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9.1} {:>9.0}",
+            m.strategy,
+            m.extra_power_mw(),
+            m.wakeups_per_sec(),
+            m.usage_ms_per_sec(),
+            m.items_consumed,
+            invoc,
+            m.scheduled_wakeups(),
+            m.overflow_wakeups(),
+            item_wk,
+            m.mean_capacity(),
+            m.mean_latency().as_secs_f64() * 1e6,
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Figures 3 & 4 — the single producer-consumer power profile (§III).
+//!
+//! Seven implementations, one pair, web-log-like workload: wakeups/s and
+//! usage (ms/s) side by side (Fig. 3) and power on a log scale (Fig. 4).
+//! The §III headline claims this reproduces:
+//!
+//! * BW burns the CPU: usage ≈ 1000 ms/s, power far above everything.
+//! * Yield draws slightly less than BW (DVFS).
+//! * Among the five idle-based implementations, the batchers (BP, PBP,
+//!   SPBP) use the least power; batch processing cuts up to ~80% vs BW
+//!   and ~33% vs Mutex.
+//! * PBP wakes more than SPBP (nanosleep jitter → overflows).
+
+use pc_bench::exp::{pct_change, print_header, print_row, row, save_json, single_pc_strategies, Protocol, Row};
+use pc_core::StrategyKind;
+use pc_sim::SimDuration;
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let buffer = 50;
+    let mean_rate = protocol.trace.mean_rate;
+
+    let mut rows = Vec::new();
+    for strategy in single_pc_strategies(buffer, mean_rate) {
+        let runs = protocol.run(strategy, 1, 1, buffer);
+        rows.push(Row::from_runs(&runs));
+    }
+
+    print_header("Figure 3 — wakeups/s and usage (ms/s), single pair, 7 implementations");
+    for r in &rows {
+        print_row(r);
+    }
+
+    println!("\n=== Figure 4 — power (mW over idle baseline, log-scale in the paper) ===");
+    for r in &rows {
+        println!("{:>6}: {:>10.1} mW", r.name, r.power_mw.mean);
+    }
+
+    let by_name = |n: &str| row(&rows, n);
+    let bw = by_name("BW").power_mw.mean;
+    let yld = by_name("Yield").power_mw.mean;
+    let mutex = by_name("Mutex").power_mw.mean;
+    let sem = by_name("Sem").power_mw.mean;
+    let batch_best = ["BP", "PBP", "SPBP"]
+        .iter()
+        .map(|n| by_name(n).power_mw.mean)
+        .fold(f64::INFINITY, f64::min);
+
+    println!("\n--- §III headline comparisons (paper: batch ≈ −80% vs BW, ≈ −33% vs Mutex) ---");
+    println!("Yield vs BW power:        {:+.1}%", pct_change(yld, bw));
+    println!("best batcher vs BW:       {:+.1}%", pct_change(batch_best, bw));
+    println!("best batcher vs Mutex:    {:+.1}%", pct_change(batch_best, mutex));
+    println!("Sem vs Mutex power:       {:+.1}%", pct_change(sem, mutex));
+    println!(
+        "PBP vs SPBP overflows:    {:.0} vs {:.0}",
+        by_name("PBP").overflows.mean,
+        by_name("SPBP").overflows.mean
+    );
+
+    // §III-C's jitter mechanism ("the jitter associated with sleep()
+    // causes more buffer overflows and thus, more wakeups") needs the
+    // period to be comparable to the jitter to bite. The paper ran a
+    // 100 µs period against its fast log replay; the equivalent sweep
+    // here tightens the period toward the ~2 ms nanosleep jitter scale.
+    println!("\n--- PBP vs SPBP as the period tightens toward the jitter scale ---");
+    println!(
+        "{:>9} | {:>22} | {:>22}",
+        "period", "PBP ovfl / wk/s", "SPBP ovfl / wk/s"
+    );
+    let mut jitter_sweep = Vec::new();
+    for period_ms in [27u64, 9, 3] {
+        let period = SimDuration::from_millis(period_ms);
+        let pbp = Row::from_runs(&protocol.run(
+            StrategyKind::Pbp { period },
+            1,
+            1,
+            buffer,
+        ));
+        let spbp = Row::from_runs(&protocol.run(
+            StrategyKind::Spbp { period },
+            1,
+            1,
+            buffer,
+        ));
+        println!(
+            "{:>6} ms | {:>10.0} / {:>9.1} | {:>10.0} / {:>9.1}",
+            period_ms,
+            pbp.overflows.mean,
+            pbp.wakeups_per_sec.mean,
+            spbp.overflows.mean,
+            spbp.wakeups_per_sec.mean
+        );
+        jitter_sweep.push((period_ms, pbp, spbp));
+    }
+
+    save_json("fig03_04_single_pc", &rows);
+    save_json("fig03_jitter_sweep", &jitter_sweep);
+}

@@ -1,0 +1,67 @@
+//! Figure 10 — power and wakeups/s as the number of consumers grows
+//! (M ∈ {2, 5, 10}, B = 25), for Mutex, Sem, BP and PBPL (§VI-C).
+//!
+//! Paper claims: power rises consistently with M for every
+//! implementation; the gap between PBPL and the rest *widens* with M
+//! (improvement over Mutex: 7.5%, 20%, 30% at M = 2, 5, 10) because more
+//! consumers mean more latching opportunities.
+
+use pc_bench::exp::{evaluated_strategies, pct_change, print_header, print_row, row, save_json, Protocol, Row};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    consumers: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let (cores, buffer) = (2, 25);
+    let consumer_counts = [2usize, 5, 10];
+
+    let mut sweep = Vec::new();
+    for &pairs in &consumer_counts {
+        let mut rows = Vec::new();
+        for strategy in evaluated_strategies() {
+            let runs = protocol.run(strategy, pairs, cores, buffer);
+            rows.push(Row::from_runs(&runs));
+        }
+        print_header(&format!("Figure 10 — M = {pairs} consumers, B = 25"));
+        for r in &rows {
+            print_row(r);
+        }
+        sweep.push(SweepPoint {
+            consumers: pairs,
+            rows,
+        });
+    }
+
+    println!("\n--- PBPL power improvement over Mutex by consumer count (paper: 7.5%, 20%, 30%) ---");
+    for point in &sweep {
+        let by = |n: &str| row(&point.rows, n);
+        println!(
+            "M = {:>2}: vs Mutex {:+.1}%   vs Sem {:+.1}%   vs BP {:+.1}%",
+            point.consumers,
+            pct_change(by("PBPL").power_mw.mean, by("Mutex").power_mw.mean),
+            pct_change(by("PBPL").power_mw.mean, by("Sem").power_mw.mean),
+            pct_change(by("PBPL").power_mw.mean, by("BP").power_mw.mean),
+        );
+    }
+
+    println!("\n--- power trend with M (paper: increases consistently for all) ---");
+    for name in ["Mutex", "Sem", "BP", "PBPL"] {
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:.0}",
+                    row(&p.rows, name).power_mw.mean
+                )
+            })
+            .collect();
+        println!("{name:>6}: {} mW at M = 2/5/10", series.join(" → "));
+    }
+
+    save_json("fig10_consumer_sweep", &sweep);
+}

@@ -1,0 +1,65 @@
+//! Figure 11 — power and wakeups/s as the buffer size grows
+//! (B ∈ {25, 50, 100}, M = 5), BP versus PBPL (§VI-C).
+//!
+//! Paper claims: larger buffers cut both power and wakeups for both
+//! implementations (they can buffer more and wake less), and the gap
+//! between PBPL and BP *narrows* with B as both saturate.
+
+use pc_bench::exp::{pct_change, print_header, print_latency_tail, print_row, row, save_json, Protocol, Row};
+use pc_core::StrategyKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    buffer: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let (pairs, cores) = (5, 2);
+    let buffers = [25usize, 50, 100];
+
+    let mut sweep = Vec::new();
+    for &buffer in &buffers {
+        let mut rows = Vec::new();
+        for strategy in [StrategyKind::Bp, StrategyKind::pbpl_default()] {
+            let runs = protocol.run(strategy, pairs, cores, buffer);
+            rows.push(Row::from_runs(&runs));
+        }
+        print_header(&format!("Figure 11 — B = {buffer}, M = 5"));
+        for r in &rows {
+            print_row(r);
+        }
+        // §III-C: "Batch processing has its drawbacks, mainly of which is
+        // the latency in responding to items" — the tail quantified.
+        for r in &rows {
+            print_latency_tail(r);
+        }
+        sweep.push(SweepPoint { buffer, rows });
+    }
+
+    println!("\n--- trends (paper: both drop with B; BP↔PBPL gap narrows) ---");
+    for name in ["BP", "PBPL"] {
+        let series: Vec<String> = sweep
+            .iter()
+            .map(|p| {
+                let r = row(&p.rows, name);
+                format!("{:.0} mW / {:.0} wk/s", r.power_mw.mean, r.wakeups_per_sec.mean)
+            })
+            .collect();
+        println!("{name:>5}: {}", series.join("  →  "));
+    }
+    println!("\nPBPL−BP power gap by buffer size:");
+    for p in &sweep {
+        let by = |n: &str| row(&p.rows, n);
+        println!(
+            "B = {:>3}: {:+.1}% ({:+.1} mW)",
+            p.buffer,
+            pct_change(by("PBPL").power_mw.mean, by("BP").power_mw.mean),
+            by("PBPL").power_mw.mean - by("BP").power_mw.mean
+        );
+    }
+
+    save_json("fig11_buffer_sweep", &sweep);
+}

@@ -1,0 +1,99 @@
+//! Calibration sensitivity — how robust are the conclusions to the one
+//! constant everything hinges on, the wakeup energy ω?
+//!
+//! The paper's entire argument rests on wakeups being expensive (Eq. 3,
+//! Fig. 1). This sweep scales ω from a quarter to four times the
+//! calibrated 120 µJ and watches the strategy gaps: if the orderings only
+//! held at one magic ω, the reproduction would be fragile; if the PBPL
+//! advantage grows monotonically with ω (and dies as ω → 0), the
+//! mechanism is exactly the paper's.
+
+use pc_bench::exp::{pct_change, save_json, Protocol};
+use pc_core::{Experiment, StrategyKind};
+use pc_power::PowerModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SensitivityPoint {
+    omega_uj: f64,
+    mutex_mw: f64,
+    bp_mw: f64,
+    pbpl_mw: f64,
+    pbpl_vs_mutex_pct: f64,
+    pbpl_vs_bp_pct: f64,
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let base = PowerModel::exynos_like();
+
+    println!("=== wakeup-energy sensitivity (M = 5, B = 25) ===");
+    println!(
+        "{:>8} | {:>9} | {:>9} | {:>9} | {:>13} | {:>12}",
+        "ω (µJ)", "Mutex mW", "BP mW", "PBPL mW", "PBPL vs Mutex", "PBPL vs BP"
+    );
+
+    let mut points = Vec::new();
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut model = base.clone();
+        model.wakeup_energy_j = base.wakeup_energy_j * factor;
+        let run = |strategy: StrategyKind| {
+            let samples: Vec<f64> = (0..protocol.replicates)
+                .map(|k| {
+                    Experiment::builder()
+                        .pairs(5)
+                        .cores(2)
+                        .duration(protocol.duration)
+                        .strategy(strategy.clone())
+                        .trace(protocol.trace.clone())
+                        .seed(protocol.base_seed + k as u64)
+                        .buffer_capacity(25)
+                        .power(model.clone())
+                        .run()
+                        .extra_power_mw()
+                })
+                .collect();
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        let mutex = run(StrategyKind::Mutex);
+        let bp = run(StrategyKind::Bp);
+        let pbpl = run(StrategyKind::pbpl_default());
+        let point = SensitivityPoint {
+            omega_uj: model.wakeup_energy_j * 1e6,
+            mutex_mw: mutex,
+            bp_mw: bp,
+            pbpl_mw: pbpl,
+            pbpl_vs_mutex_pct: pct_change(pbpl, mutex),
+            pbpl_vs_bp_pct: pct_change(pbpl, bp),
+        };
+        println!(
+            "{:>8.0} | {:>9.1} | {:>9.1} | {:>9.1} | {:>+12.1}% | {:>+11.1}%",
+            point.omega_uj,
+            point.mutex_mw,
+            point.bp_mw,
+            point.pbpl_mw,
+            point.pbpl_vs_mutex_pct,
+            point.pbpl_vs_bp_pct
+        );
+        points.push(point);
+    }
+
+    // The premise check: the PBPL-vs-BP gap must widen as wakeups get
+    // more expensive (more negative percentage at higher ω).
+    let first = points.first().expect("swept");
+    let last = points.last().expect("swept");
+    println!(
+        "\nPBPL-vs-BP gap: {:+.1}% at ω = {:.0} µJ → {:+.1}% at ω = {:.0} µJ — {}",
+        first.pbpl_vs_bp_pct,
+        first.omega_uj,
+        last.pbpl_vs_bp_pct,
+        last.omega_uj,
+        if last.pbpl_vs_bp_pct < first.pbpl_vs_bp_pct {
+            "the advantage scales with wakeup cost, as the paper's premise requires"
+        } else {
+            "UNEXPECTED: the advantage does not scale with wakeup cost"
+        }
+    );
+
+    save_json("sensitivity", &points);
+}

@@ -1,0 +1,76 @@
+//! §VI-C buffer-occupancy accounting — dynamic resizing in numbers.
+//!
+//! Paper (B = 50): "Although a buffer of size 50 is allocated for each
+//! consumer, PBPL uses on average only 43 buffer locations … The unused
+//! space in the buffer is granted to consumers suffering from a high
+//! production rate, so that they can maintain their latching duties."
+
+use pc_bench::exp::{save_json, Protocol, Row};
+use pc_core::{PbplConfig, StrategyKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BufferReport {
+    allocated_b0: usize,
+    mean_capacity_resizing: f64,
+    mean_capacity_fixed: f64,
+    mean_batch_resizing: f64,
+    overflows_resizing: f64,
+    overflows_fixed: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let (pairs, cores, buffer) = (5, 2, 50);
+
+    let resizing = protocol.run(StrategyKind::pbpl_default(), pairs, cores, buffer);
+    let fixed_cfg = PbplConfig {
+        resizing: false,
+        ..PbplConfig::default()
+    };
+    let fixed = protocol.run(StrategyKind::Pbpl(fixed_cfg), pairs, cores, buffer);
+
+    let r_res = Row::from_runs(&resizing);
+    let r_fix = Row::from_runs(&fixed);
+    let mean_batch: f64 = resizing
+        .iter()
+        .map(|m| {
+            let (items, invocs) = m
+                .pairs
+                .iter()
+                .fold((0u64, 0u64), |(a, b), p| (a + p.occupancy_sum, b + p.samples));
+            items as f64 / invocs.max(1) as f64
+        })
+        .sum::<f64>()
+        / resizing.len() as f64;
+
+    println!("=== §VI-C buffer usage (M = 5, B₀ = 50) ===");
+    println!("allocated per consumer (B₀):            {buffer:>8}");
+    println!(
+        "mean capacity with dynamic resizing:    {:>8.1}   (paper: 43 of 50)",
+        r_res.mean_capacity.mean
+    );
+    println!(
+        "mean capacity with resizing disabled:   {:>8.1}   (must equal B₀)",
+        r_fix.mean_capacity.mean
+    );
+    println!("mean batch size at drain:               {mean_batch:>8.1}");
+    println!(
+        "overflows, resizing vs fixed:           {:>8.0} vs {:.0}",
+        r_res.overflows.mean, r_fix.overflows.mean
+    );
+
+    save_json(
+        "table_buffer_usage",
+        &BufferReport {
+            allocated_b0: buffer,
+            mean_capacity_resizing: r_res.mean_capacity.mean,
+            mean_capacity_fixed: r_fix.mean_capacity.mean,
+            mean_batch_resizing: mean_batch,
+            overflows_resizing: r_res.overflows.mean,
+            overflows_fixed: r_fix.overflows.mean,
+            rows: vec![r_res, r_fix],
+        },
+    );
+}

@@ -1,0 +1,92 @@
+//! Wakeup time series — how each implementation rides the workload's
+//! rate swings (our extension; the paper reports only run-wide means).
+//!
+//! PowerTop-style 1-second sampling windows over one run: the item-driven
+//! implementations' wakeups track the arrival rate almost linearly, BP
+//! tracks it at 1/B, and PBPL flattens it further by latching — the
+//! flatter the series, the fewer the idle-state transitions.
+
+use pc_bench::exp::{save_json, Protocol};
+use pc_core::{Experiment, StrategyKind};
+use pc_power::{Meter, MeterSample};
+use pc_sim::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    strategy: String,
+    wakeups_per_sec: Vec<f64>,
+    usage_ms_per_sec: Vec<f64>,
+}
+
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let meter = Meter::new(SimDuration::from_secs(1));
+    let mut all = Vec::new();
+
+    println!("=== per-second wakeups across the run (1 window = 1 s) ===\n");
+    for strategy in [
+        StrategyKind::Mutex,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ] {
+        let m = Experiment::builder()
+            .pairs(5)
+            .cores(2)
+            .duration(protocol.duration)
+            .strategy(strategy)
+            .trace(protocol.trace.clone())
+            .seed(protocol.base_seed)
+            .buffer_capacity(25)
+            .run();
+        // Sum the per-window series across cores.
+        let per_core: Vec<Vec<MeterSample>> =
+            m.core_reports.iter().map(|r| meter.sample(r)).collect();
+        let windows = per_core.iter().map(|s| s.len()).min().unwrap_or(0);
+        let mut wakeups = vec![0.0; windows];
+        let mut usage = vec![0.0; windows];
+        for series in &per_core {
+            for (i, s) in series.iter().take(windows).enumerate() {
+                wakeups[i] += s.wakeups_per_sec;
+                usage[i] += s.usage_ms_per_sec;
+            }
+        }
+        let mean = wakeups.iter().sum::<f64>() / windows.max(1) as f64;
+        let peak = wakeups.iter().cloned().fold(0.0, f64::max);
+        println!("{:>6}  mean {:>6.0} wk/s  peak {:>6.0} wk/s", m.strategy, mean, peak);
+        println!("        {}", sparkline(&wakeups));
+        all.push(Series {
+            strategy: m.strategy.clone(),
+            wakeups_per_sec: wakeups,
+            usage_ms_per_sec: usage,
+        });
+    }
+
+    // Flatness comparison: coefficient of variation of the series.
+    println!("\n--- series flatness (std/mean of per-second wakeups; lower = steadier idle) ---");
+    for s in &all {
+        let n = s.wakeups_per_sec.len() as f64;
+        let mean = s.wakeups_per_sec.iter().sum::<f64>() / n;
+        let var = s
+            .wakeups_per_sec
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        println!("{:>6}: cv = {:.2}", s.strategy, var.sqrt() / mean);
+    }
+
+    save_json("timeseries", &all);
+}

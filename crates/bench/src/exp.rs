@@ -1,0 +1,285 @@
+//! Shared experiment machinery: the paper's measurement protocol
+//! (§III-B) as reusable code.
+//!
+//! Every experiment executes for a fixed horizon (50 s in the paper),
+//! runs three replicates with distinct seeds, and reports mean ± 95% CI
+//! for each metric. `PC_DURATION_MS`, `PC_REPLICATES` and `PC_SEED`
+//! override the defaults so the full suite can be smoke-tested quickly.
+
+use pc_core::{Experiment, RunMetrics, StrategyKind};
+use pc_sim::SimDuration;
+use pc_stats::Summary;
+use pc_trace::WorldCupConfig;
+use serde::Serialize;
+
+/// Protocol parameters shared by all experiment runners.
+#[derive(Debug, Clone)]
+pub struct Protocol {
+    /// Run length (paper: 50 s).
+    pub duration: SimDuration,
+    /// Replicates per configuration (paper: 3).
+    pub replicates: usize,
+    /// Base seed; replicate k runs with `base_seed + k`.
+    pub base_seed: u64,
+    /// Workload configuration.
+    pub trace: WorldCupConfig,
+}
+
+impl Protocol {
+    /// The paper's protocol, with environment overrides:
+    /// `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED`.
+    pub fn from_env() -> Self {
+        let duration_ms = std::env::var("PC_DURATION_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms: &u64| ms > 0)
+            .unwrap_or(50_000u64);
+        let replicates = std::env::var("PC_REPLICATES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3usize);
+        let base_seed = std::env::var("PC_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u64);
+        Protocol {
+            duration: SimDuration::from_millis(duration_ms),
+            replicates: replicates.max(1),
+            base_seed,
+            trace: WorldCupConfig::paper_default(),
+        }
+    }
+
+    /// Runs one strategy configuration across the replicates.
+    pub fn run(
+        &self,
+        strategy: StrategyKind,
+        pairs: usize,
+        cores: usize,
+        buffer: usize,
+    ) -> Vec<RunMetrics> {
+        (0..self.replicates)
+            .map(|k| {
+                Experiment::builder()
+                    .pairs(pairs)
+                    .cores(cores)
+                    .duration(self.duration)
+                    .strategy(strategy.clone())
+                    .trace(self.trace.clone())
+                    .seed(self.base_seed + k as u64)
+                    .buffer_capacity(buffer)
+                    .run()
+            })
+            .collect()
+    }
+}
+
+/// Per-strategy result row: each §VI-B metric as a replicate summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Strategy display name.
+    pub name: String,
+    /// Extra power over baseline, milliwatts.
+    pub power_mw: Summary,
+    /// Core wakeups per second.
+    pub wakeups_per_sec: Summary,
+    /// CPU usage, ms/s.
+    pub usage_ms_per_sec: Summary,
+    /// Internally counted scheduled wakeups (batchers).
+    pub scheduled: Summary,
+    /// Buffer overflows (batchers).
+    pub overflows: Summary,
+    /// Mean allocated buffer capacity.
+    pub mean_capacity: Summary,
+    /// Mean item latency, microseconds.
+    pub latency_us: Summary,
+    /// 99th-percentile item latency, microseconds (batching's tail cost).
+    pub latency_p99_us: Summary,
+    /// Items consumed per replicate (sanity).
+    pub items: Summary,
+}
+
+impl Row {
+    /// Summarises replicate metrics into a row.
+    pub fn from_runs(runs: &[RunMetrics]) -> Row {
+        let get = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).collect::<Vec<_>>();
+        Row {
+            name: runs[0].strategy.clone(),
+            power_mw: Summary::of("power_mw", &get(&|m| m.extra_power_mw())),
+            wakeups_per_sec: Summary::of("wakeups_per_sec", &get(&|m| m.wakeups_per_sec())),
+            usage_ms_per_sec: Summary::of("usage_ms_per_sec", &get(&|m| m.usage_ms_per_sec())),
+            scheduled: Summary::of("scheduled", &get(&|m| m.scheduled_wakeups() as f64)),
+            overflows: Summary::of("overflows", &get(&|m| m.overflow_wakeups() as f64)),
+            mean_capacity: Summary::of("mean_capacity", &get(&|m| m.mean_capacity())),
+            latency_us: Summary::of(
+                "latency_us",
+                &get(&|m| m.mean_latency().as_secs_f64() * 1e6),
+            ),
+            latency_p99_us: Summary::of(
+                "latency_p99_us",
+                &get(&|m| {
+                    m.latency_percentile(99.0)
+                        .map(|d| d.as_secs_f64() * 1e6)
+                        .unwrap_or(f64::NAN)
+                }),
+            ),
+            items: Summary::of("items", &get(&|m| m.items_consumed as f64)),
+        }
+    }
+}
+
+/// Finds the row for a strategy by its display name, panicking with the
+/// name when absent (all runners construct their own rows, so absence is
+/// a programming error).
+pub fn row<'a>(rows: &'a [Row], name: &str) -> &'a Row {
+    rows.iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no row named {name}"))
+}
+
+/// Signed percentage change of `ours` versus `baseline` (−20.0 = 20%
+/// lower).
+pub fn pct_change(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        f64::NAN
+    } else {
+        (ours - baseline) / baseline * 100.0
+    }
+}
+
+/// Prints the standard metric table header.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>6} | {:>16} | {:>16} | {:>14} | {:>12} | {:>12} | {:>9} | {:>10}",
+        "impl", "power (mW)", "wakeups/s", "usage (ms/s)", "scheduled", "overflows", "avg buf", "lat (us)"
+    );
+}
+
+/// Prints one strategy row.
+pub fn print_row(r: &Row) {
+    println!(
+        "{:>6} | {:>8.1} ±{:>6.1} | {:>8.1} ±{:>6.1} | {:>7.2} ±{:>5.2} | {:>12.0} | {:>12.0} | {:>9.1} | {:>10.0}",
+        r.name,
+        r.power_mw.mean,
+        r.power_mw.ci95.half_width,
+        r.wakeups_per_sec.mean,
+        r.wakeups_per_sec.ci95.half_width,
+        r.usage_ms_per_sec.mean,
+        r.usage_ms_per_sec.ci95.half_width,
+        r.scheduled.mean,
+        r.overflows.mean,
+        r.mean_capacity.mean,
+        r.latency_us.mean,
+    );
+}
+
+/// Prints the latency tail line for a row (mean and p99).
+pub fn print_latency_tail(r: &Row) {
+    println!(
+        "{:>6} latency: mean {:>8.0} us, p99 {:>8.0} us",
+        r.name, r.latency_us.mean, r.latency_p99_us.mean
+    );
+}
+
+/// Serialises experiment output under `results/<name>.json` (best
+/// effort — failures only warn, measurements still print).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialisation failed: {e}"),
+    }
+}
+
+/// The four implementations §VI evaluates.
+pub fn evaluated_strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ]
+}
+
+/// The seven §III implementations. The periodic strategies' period is
+/// matched to the buffer-fill time at the workload's mean rate (the
+/// paper's 100 µs played the same role against its much faster replay).
+pub fn single_pc_strategies(buffer: usize, mean_rate: f64) -> Vec<StrategyKind> {
+    let period = SimDuration::from_secs_f64(buffer as f64 / mean_rate);
+    vec![
+        StrategyKind::BusyWait,
+        StrategyKind::Yield,
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::Pbp { period },
+        StrategyKind::Spbp { period },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_protocol() -> Protocol {
+        Protocol {
+            duration: SimDuration::from_millis(50),
+            replicates: 2,
+            base_seed: 5,
+            trace: WorldCupConfig::quick_test(),
+        }
+    }
+
+    #[test]
+    fn protocol_runs_replicates_with_distinct_seeds() {
+        let p = tiny_protocol();
+        let runs = p.run(StrategyKind::Mutex, 2, 2, 25);
+        assert_eq!(runs.len(), 2);
+        // Different seeds → different traces → (almost surely) different
+        // item counts.
+        assert_ne!(runs[0].items_consumed, runs[1].items_consumed);
+    }
+
+    #[test]
+    fn row_summarises_replicates() {
+        let p = tiny_protocol();
+        let runs = p.run(StrategyKind::Bp, 2, 2, 25);
+        let row = Row::from_runs(&runs);
+        assert_eq!(row.name, "BP");
+        assert_eq!(row.items.samples.len(), 2);
+        assert!(row.power_mw.mean > 0.0);
+    }
+
+    #[test]
+    fn pct_change_signs() {
+        assert!((pct_change(80.0, 100.0) + 20.0).abs() < 1e-12);
+        assert!((pct_change(120.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!(pct_change(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn strategy_sets() {
+        assert_eq!(evaluated_strategies().len(), 4);
+        let seven = single_pc_strategies(50, 2000.0);
+        assert_eq!(seven.len(), 7);
+        // Period = B / rate = 25ms.
+        match &seven[5] {
+            StrategyKind::Pbp { period } => {
+                assert_eq!(*period, SimDuration::from_millis(25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # pc-bench — experiment runners and microbenches
+//!
+//! One binary per paper figure/table (see `src/bin/`), all built on the
+//! [`exp`] replicate-running helpers; criterion microbenches for the
+//! data-structure substrates live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exp;

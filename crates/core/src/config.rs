@@ -1,0 +1,230 @@
+//! Strategy and algorithm configuration.
+
+use crate::predict::{Ewma, Holt, Kalman, MovingAverage, RatePredictor};
+use pc_sim::{SimDuration, TimerModel};
+use serde::{Deserialize, Serialize};
+
+/// Which rate predictor a PBPL consumer runs (§V-C uses the moving
+/// average; EWMA and Kalman are our ablations, the latter named by the
+/// paper as future work).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// h-step moving average (the paper's estimator).
+    MovingAverage {
+        /// Window length h.
+        history: usize,
+    },
+    /// Exponentially weighted moving average.
+    Ewma {
+        /// Smoothing factor in (0, 1].
+        alpha: f64,
+    },
+    /// Scalar Kalman filter (process noise `q`, measurement noise `r`).
+    Kalman {
+        /// Process noise variance.
+        q: f64,
+        /// Measurement noise variance.
+        r: f64,
+    },
+    /// Holt double-exponential smoothing (level `alpha`, trend `beta`) —
+    /// extrapolates ramps instead of lagging them.
+    Holt {
+        /// Level smoothing factor in (0, 1].
+        alpha: f64,
+        /// Trend smoothing factor in (0, 1].
+        beta: f64,
+    },
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor with a prior rate estimate.
+    pub fn build(&self, prior: f64) -> Box<dyn RatePredictor> {
+        match *self {
+            PredictorKind::MovingAverage { history } => {
+                Box::new(MovingAverage::new(history, prior))
+            }
+            PredictorKind::Ewma { alpha } => Box::new(Ewma::new(alpha, prior)),
+            PredictorKind::Kalman { q, r } => Box::new(Kalman::new(q, r, prior)),
+            PredictorKind::Holt { alpha, beta } => Box::new(Holt::new(alpha, beta, prior)),
+        }
+    }
+}
+
+/// Configuration of the paper's algorithm (PBPL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PbplConfig {
+    /// Slot size Δ. The paper defaults this to the minimum of the
+    /// consumers' maximum response latencies.
+    pub slot: SimDuration,
+    /// Each consumer's maximum acceptable response latency (bounds how
+    /// far ahead it may reserve).
+    pub max_latency: SimDuration,
+    /// Rate predictor.
+    pub predictor: PredictorKind,
+    /// Group-latching on shared slots (§V-A). Disabling it degrades PBPL
+    /// to per-consumer periodic batching — the key ablation.
+    pub latching: bool,
+    /// Opportunistic piggyback drains on an already-awake core — our
+    /// reading of §V-A's "latch onto previously scheduled CPU wake-ups"
+    /// extended to *any* wake (including overflow wakes). Disable to get
+    /// the paper's literal reservation-only latching.
+    pub piggyback: bool,
+    /// Dynamic buffer resizing against the global pool (§V-C).
+    pub resizing: bool,
+    /// Margin multiplier on predicted fill when sizing buffers
+    /// (1.0 = the paper's exact formula).
+    pub resize_margin: f64,
+    /// Fraction of B₀ below which downsizing never goes. Rate prediction
+    /// is blind to sub-slot burst structure (request clusters), so a
+    /// buffer shrunk to the *average* fill would overflow on every
+    /// burst; the floor keeps one burst's worth of headroom. The paper's
+    /// reported mean allocation (43 of 50) corresponds to ≈ 0.8.
+    pub min_capacity_frac: f64,
+}
+
+impl Default for PbplConfig {
+    fn default() -> Self {
+        PbplConfig {
+            slot: SimDuration::from_millis(25),
+            max_latency: SimDuration::from_millis(100),
+            predictor: PredictorKind::MovingAverage { history: 8 },
+            latching: true,
+            piggyback: true,
+            resizing: true,
+            resize_margin: 1.15,
+            min_capacity_frac: 0.55,
+        }
+    }
+}
+
+/// One of the producer-consumer implementations under study: the seven
+/// from §III plus the paper's PBPL (§V).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Busy-waiting consumer (BW).
+    BusyWait,
+    /// Busy-waiting with voluntary yields (Yield).
+    Yield,
+    /// Mutex + condition variables, item at a time (Mutex).
+    Mutex,
+    /// Two semaphores over a circular buffer, item at a time (Sem).
+    Sem,
+    /// Batch processing: wake when the buffer is full (BP).
+    Bp,
+    /// Periodic batch processing via `nanosleep` (PBP).
+    Pbp {
+        /// Batch period (the paper uses 100 µs in §III).
+        period: SimDuration,
+    },
+    /// Signal-driven periodic batch processing (SPBP).
+    Spbp {
+        /// Batch period.
+        period: SimDuration,
+    },
+    /// The paper's contribution: periodic batch processing with latching.
+    Pbpl(PbplConfig),
+}
+
+impl StrategyKind {
+    /// PBPL with default parameters.
+    pub fn pbpl_default() -> Self {
+        StrategyKind::Pbpl(PbplConfig::default())
+    }
+
+    /// The §III periodic strategies' timer models: PBP suffers
+    /// `nanosleep` jitter, SPBP rides accurate signals, everything else
+    /// is driven by data or slots.
+    pub fn timer_model(&self) -> TimerModel {
+        match self {
+            StrategyKind::Pbp { .. } => TimerModel::nanosleep_like(),
+            StrategyKind::Spbp { .. } => TimerModel::sigalrm_like(),
+            // The PBPL core manager arms precise per-core timers
+            // (hrtimer-class), same class as SPBP.
+            StrategyKind::Pbpl(_) => TimerModel::sigalrm_like(),
+            _ => TimerModel::Perfect,
+        }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::BusyWait => "BW",
+            StrategyKind::Yield => "Yield",
+            StrategyKind::Mutex => "Mutex",
+            StrategyKind::Sem => "Sem",
+            StrategyKind::Bp => "BP",
+            StrategyKind::Pbp { .. } => "PBP",
+            StrategyKind::Spbp { .. } => "SPBP",
+            StrategyKind::Pbpl(_) => "PBPL",
+        }
+    }
+
+    /// Whether this strategy consumes in batches (BP/PBP/SPBP/PBPL).
+    pub fn is_batching(&self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Bp
+                | StrategyKind::Pbp { .. }
+                | StrategyKind::Spbp { .. }
+                | StrategyKind::Pbpl(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_kinds_build() {
+        for kind in [
+            PredictorKind::MovingAverage { history: 4 },
+            PredictorKind::Ewma { alpha: 0.4 },
+            PredictorKind::Kalman { q: 1.0, r: 10.0 },
+            PredictorKind::Holt { alpha: 0.5, beta: 0.2 },
+        ] {
+            let p = kind.build(500.0);
+            assert_eq!(p.rate(), 500.0, "prior must flow through");
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(StrategyKind::BusyWait.name(), "BW");
+        assert_eq!(StrategyKind::pbpl_default().name(), "PBPL");
+        assert_eq!(
+            StrategyKind::Pbp {
+                period: SimDuration::from_micros(100)
+            }
+            .name(),
+            "PBP"
+        );
+    }
+
+    #[test]
+    fn batching_classification() {
+        assert!(!StrategyKind::Mutex.is_batching());
+        assert!(!StrategyKind::Sem.is_batching());
+        assert!(StrategyKind::Bp.is_batching());
+        assert!(StrategyKind::pbpl_default().is_batching());
+    }
+
+    #[test]
+    fn timer_models_differ_pbp_vs_spbp() {
+        let pbp = StrategyKind::Pbp {
+            period: SimDuration::from_micros(100),
+        };
+        let spbp = StrategyKind::Spbp {
+            period: SimDuration::from_micros(100),
+        };
+        assert_ne!(pbp.timer_model(), spbp.timer_model());
+        assert_eq!(StrategyKind::Mutex.timer_model(), TimerModel::Perfect);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let cfg = PbplConfig::default();
+        assert!(cfg.latching && cfg.resizing);
+        assert!(cfg.max_latency >= cfg.slot);
+    }
+}

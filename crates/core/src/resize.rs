@@ -1,0 +1,117 @@
+//! Dynamic buffer sizing decisions (§V-C "Dynamic buffer resizing").
+//!
+//! After reserving a slot the consumer *downsizes* its buffer "such that
+//! it is only sufficient to accommodate the predicted items and not
+//! more": Bᵢ = r̂ⱼ₊₁ · (τᵢⱼ₊₁ − τᵢⱼ). A consumer whose predicted rate
+//! cannot be served by any slot *upsizes* "according to the space
+//! available": Bᵢ = min(B_g − ΣB_q, r̂ⱼ₊₁·(τᵢⱼ₊₁ − τᵢⱼ)) — the pool
+//! minimum is enforced by [`pc_queues::ElasticBuffer::grow_to`] itself.
+//!
+//! This module computes the *target* capacities; the elastic buffer
+//! applies them against the pool.
+
+use pc_sim::{SimDuration, SimTime};
+
+/// Items predicted to accumulate between `now` and `slot_start` at rate
+/// `rate` — the r̂·(τ_next − τ_now) term shared by both sizing formulas.
+pub fn predicted_fill(rate: f64, now: SimTime, slot_start: SimTime) -> f64 {
+    rate.max(0.0) * slot_start.saturating_since(now).as_secs_f64()
+}
+
+/// The capacity target for the interval to the reserved slot.
+///
+/// `margin` scales the prediction — 1.0 is the paper's exact formula,
+/// larger values add slack against prediction error (an ablation knob).
+/// The result is never below 1.
+pub fn capacity_target(predicted_items: f64, margin: f64) -> usize {
+    (predicted_items * margin.max(0.0)).ceil().max(1.0) as usize
+}
+
+/// Decides the resize action for a consumer that has just reserved a
+/// slot: the target it should shrink or grow to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizePlan {
+    /// Shrink toward the target, releasing pool units.
+    Shrink(usize),
+    /// Grow toward the target, borrowing pool units (best-effort).
+    Grow(usize),
+    /// Capacity already matches the target.
+    Keep,
+}
+
+/// Plans the resize from `current` capacity to fit `predicted_items` with
+/// `margin`.
+pub fn plan_resize(current: usize, predicted_items: f64, margin: f64) -> ResizePlan {
+    let target = capacity_target(predicted_items, margin);
+    use std::cmp::Ordering::*;
+    match target.cmp(&current) {
+        Less => ResizePlan::Shrink(target),
+        Greater => ResizePlan::Grow(target),
+        Equal => ResizePlan::Keep,
+    }
+}
+
+/// Upsize target when the predicted rate overruns every acceptable slot
+/// (the `rate_overrun` flag from slot selection): enough capacity to
+/// survive until `slot_start` at the predicted rate, with margin.
+pub fn overrun_target(rate: f64, now: SimTime, slot_start: SimTime, margin: f64) -> usize {
+    capacity_target(predicted_fill(rate, now, slot_start), margin)
+}
+
+/// Duration a buffer of `capacity` items survives at `rate` items/second
+/// (∞ is capped to the given `horizon`). Used in tests and diagnostics.
+pub fn time_to_fill(capacity: usize, rate: f64, horizon: SimDuration) -> SimDuration {
+    if rate <= 0.0 {
+        return horizon;
+    }
+    SimDuration::from_secs_f64(capacity as f64 / rate).min(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn predicted_fill_matches_formula() {
+        // 5000/s over 5ms = 25 items.
+        assert!((predicted_fill(5000.0, ms(10), ms(15)) - 25.0).abs() < 1e-9);
+        assert_eq!(predicted_fill(5000.0, ms(15), ms(10)), 0.0, "past slot");
+        assert_eq!(predicted_fill(-10.0, ms(0), ms(10)), 0.0, "negative rate");
+    }
+
+    #[test]
+    fn capacity_target_rounds_up_with_floor() {
+        assert_eq!(capacity_target(24.2, 1.0), 25);
+        assert_eq!(capacity_target(0.0, 1.0), 1);
+        assert_eq!(capacity_target(10.0, 1.2), 12);
+    }
+
+    #[test]
+    fn plan_directions() {
+        assert_eq!(plan_resize(50, 25.0, 1.0), ResizePlan::Shrink(25));
+        assert_eq!(plan_resize(20, 25.0, 1.0), ResizePlan::Grow(25));
+        assert_eq!(plan_resize(25, 25.0, 1.0), ResizePlan::Keep);
+    }
+
+    #[test]
+    fn overrun_target_covers_next_slot() {
+        // 100k/s for 1ms = 100 items.
+        assert_eq!(overrun_target(100_000.0, ms(10), ms(11), 1.0), 100);
+        assert_eq!(overrun_target(100_000.0, ms(10), ms(11), 1.5), 150);
+    }
+
+    #[test]
+    fn time_to_fill_basics() {
+        let horizon = SimDuration::from_secs(1);
+        assert_eq!(
+            time_to_fill(25, 5000.0, horizon),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(time_to_fill(25, 0.0, horizon), horizon);
+        assert_eq!(time_to_fill(1_000_000, 1.0, horizon), horizon, "capped");
+    }
+}

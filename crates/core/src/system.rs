@@ -1,0 +1,1210 @@
+//! The multiple producer-consumer system simulator and the
+//! [`Experiment`] builder — the machinery behind every figure and table
+//! reproduction.
+//!
+//! The simulation follows the paper's system model (§IV-A) exactly:
+//! a multicore with idle/active cores, M producer-consumer pairs with one
+//! consumer per producer, producers that are *external* (they never wake
+//! consumer cores themselves), consumers pinned to cores with no
+//! background processes, and a finite run. Each §III strategy plus PBPL
+//! is expressed as event-handler behaviour over the `pc-sim` engine; the
+//! finished core timelines then flow through `pc-power` for energy and
+//! PowerTop-style metrics.
+
+use crate::config::{PbplConfig, StrategyKind};
+use crate::cost::{select_slot, CostModel};
+use crate::manager::CoreManager;
+use crate::metrics::{PairMetrics, RunMetrics};
+use crate::model::PairId;
+use crate::predict::RatePredictor;
+use crate::resize::{overrun_target, plan_resize, predicted_fill as predicted_fill_items, ResizePlan};
+use crate::slot::{SlotIndex, SlotTrack};
+use crate::strategy::{
+    batch_work, item_driven_work, MUTEX_SYNC_FACTOR, SEM_SYNC_FACTOR, YIELD_DVFS_FACTOR,
+    YIELD_IDLE_PER_TICK, YIELD_TICK,
+};
+use pc_power::{account_cores, GovernorKind, Meter, PowerModel};
+use pc_queues::elastic::Overflow;
+use pc_queues::{ElasticBuffer, GlobalPool};
+use pc_sim::event::EventId;
+use pc_sim::{Core, CoreId, Engine, SimDuration, SimTime, TimerModel};
+use pc_trace::{Trace, WorldCupConfig};
+use std::sync::Arc;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The next item of `pair`'s producer arrives.
+    Produce { pair: usize },
+    /// An item-driven consumer finishes its current drain window.
+    DrainDone { pair: usize },
+    /// A PBP/SPBP periodic timer fires for `pair`.
+    TimerFire { pair: usize },
+    /// A PBPL core manager's armed slot fires on `core`.
+    SlotWake { core: usize, slot: SlotIndex },
+}
+
+/// What triggered a consumer invocation (for the §VI-C wakeup split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    Scheduled,
+    Overflow,
+}
+
+struct PairState {
+    core: usize,
+    times: Vec<SimTime>,
+    next_idx: usize,
+    metrics: PairMetrics,
+    /// Consumer-side busy horizon (item-driven strategies).
+    busy_until: SimTime,
+    drain_pending: bool,
+    /// Item-driven backlog (Mutex/Sem). Capacity is advisory only: the
+    /// real producer would block, which is invisible to consumer-side
+    /// power (§IV assumes producers are external processes).
+    backlog: Vec<SimTime>,
+    /// Bounded batch buffer (BP/PBP/SPBP/PBPL).
+    buffer: Option<ElasticBuffer<SimTime>>,
+    predictor: Option<Box<dyn RatePredictor>>,
+    last_invocation: SimTime,
+    /// SPBP's absolute next nominal fire instant.
+    periodic_anchor: SimTime,
+    /// This consumer's maximum acceptable response latency (§IV-A);
+    /// bounds how far ahead it may reserve.
+    max_latency: SimDuration,
+}
+
+struct Sim {
+    strategy: StrategyKind,
+    power: PowerModel,
+    governor: GovernorKind,
+    cost: CostModel,
+    timer: TimerModel,
+    end: SimTime,
+    engine: Engine<Ev>,
+    cores: Vec<Core>,
+    core_busy_until: Vec<SimTime>,
+    managers: Vec<CoreManager>,
+    slot_timer: Vec<Option<(EventId, SlotIndex)>>,
+    pairs: Vec<PairState>,
+    /// Pair indices hosted on each core (fixed assignment), so hot paths
+    /// never re-derive it.
+    pairs_by_core: Vec<Vec<usize>>,
+    base_capacity: usize,
+    scratch: Vec<SimTime>,
+    /// Kept alive so buffers can borrow/return against it; also used by
+    /// conservation assertions in tests.
+    _pool: Option<Arc<GlobalPool>>,
+}
+
+impl Sim {
+    fn pbpl_config(&self) -> Option<&PbplConfig> {
+        match &self.strategy {
+            StrategyKind::Pbpl(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Claims the pair's core for `work` starting no earlier than `now`;
+    /// returns the span actually occupied.
+    fn occupy_core(&mut self, core: usize, now: SimTime, work: SimDuration) -> (SimTime, SimTime) {
+        let start = now.max(self.core_busy_until[core]);
+        let end = start.saturating_add(work);
+        self.cores[core].add_active_span(start, end);
+        self.core_busy_until[core] = end;
+        (start, end)
+    }
+
+    fn schedule_next_produce(&mut self, i: usize) {
+        let pair = &self.pairs[i];
+        if let Some(&t) = pair.times.get(pair.next_idx) {
+            self.engine.schedule_at(t, Ev::Produce { pair: i });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Item-driven strategies (Mutex, Sem)
+    // ------------------------------------------------------------------
+
+    fn sync_factor(&self) -> f64 {
+        match self.strategy {
+            StrategyKind::Sem => SEM_SYNC_FACTOR,
+            _ => MUTEX_SYNC_FACTOR,
+        }
+    }
+
+    /// Occupies the pair's core for `work`, then records the latencies of
+    /// everything staged in `scratch` plus the drain sample. Returns the
+    /// span end. Shared tail of every drain path.
+    fn finish_drain(&mut self, i: usize, now: SimTime, work: SimDuration, capacity: usize) -> SimTime {
+        let core = self.pairs[i].core;
+        let (_start, end) = self.occupy_core(core, now, work);
+        let pair = &mut self.pairs[i];
+        for k in 0..self.scratch.len() {
+            pair.metrics.record_latency(self.scratch[k], end);
+        }
+        pair.metrics.record_drain(self.scratch.len() as u64, capacity);
+        end
+    }
+
+    fn item_drain(&mut self, i: usize, now: SimTime) {
+        let factor = self.sync_factor();
+        let pair = &mut self.pairs[i];
+        let n = pair.backlog.len() as u64;
+        self.scratch.clear();
+        self.scratch.append(&mut pair.backlog);
+        // The sleep-entry tail is part of the wake session: the thread
+        // re-checks the queue before truly blocking, so arrivals in this
+        // window extend the session instead of causing a fresh wakeup.
+        let work = item_driven_work(&self.power, n, factor).saturating_add(self.power.sleep_entry);
+        let end = self.finish_drain(i, now, work, self.base_capacity);
+        let pair = &mut self.pairs[i];
+        pair.busy_until = end;
+        if !pair.drain_pending {
+            pair.drain_pending = true;
+            self.engine.schedule_at(end, Ev::DrainDone { pair: i });
+        }
+    }
+
+    fn item_produce(&mut self, i: usize, t: SimTime) {
+        let now = self.engine.now();
+        let pair = &mut self.pairs[i];
+        pair.backlog.push(t);
+        // A pending DrainDone owns the wake session: at an exact tie
+        // (now == busy_until) the continuation event drains this item
+        // without a fresh thread wakeup.
+        if now >= pair.busy_until && !pair.drain_pending {
+            pair.metrics.item_wakeups += 1;
+            pair.metrics.invocations += 1;
+            self.item_drain(i, now);
+        }
+    }
+
+    fn item_drain_done(&mut self, i: usize, now: SimTime) {
+        self.pairs[i].drain_pending = false;
+        if !self.pairs[i].backlog.is_empty() {
+            // Same wake session: the core span abuts the previous one, so
+            // no wakeup or invocation is counted.
+            self.item_drain(i, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batch strategies (BP, PBP, SPBP)
+    // ------------------------------------------------------------------
+
+    /// Drains the pair's batch buffer, occupies the core, and records
+    /// metrics. Returns the batch size.
+    fn batch_drain(&mut self, i: usize, now: SimTime, trigger: Trigger) -> u64 {
+        let pair = &mut self.pairs[i];
+        pair.metrics.invocations += 1;
+        match trigger {
+            Trigger::Scheduled => pair.metrics.scheduled_wakeups += 1,
+            Trigger::Overflow => pair.metrics.overflow_wakeups += 1,
+        }
+        let buffer = pair.buffer.as_mut().expect("batch strategy has a buffer");
+        let capacity = buffer.capacity();
+        self.scratch.clear();
+        let n = buffer.drain_into(&mut self.scratch) as u64;
+        let work = batch_work(&self.power, n);
+        self.finish_drain(i, now, work, capacity);
+        n
+    }
+
+    fn bp_produce(&mut self, i: usize, t: SimTime) {
+        let now = self.engine.now();
+        let pair = &mut self.pairs[i];
+        let buffer = pair.buffer.as_mut().expect("BP has a buffer");
+        buffer
+            .push(t)
+            .unwrap_or_else(|_| unreachable!("BP drains at full, before overflow"));
+        if buffer.is_full() {
+            // "The consumer waits until the buffer is full": the producer
+            // signals it — in the paper's terms every BP wakeup is an
+            // overflow.
+            self.batch_drain(i, now, Trigger::Overflow);
+        }
+    }
+
+    fn periodic_produce(&mut self, i: usize, t: SimTime) {
+        let now = self.engine.now();
+        let pair = &mut self.pairs[i];
+        let buffer = pair.buffer.as_mut().expect("periodic strategy has a buffer");
+        if let Err(Overflow(item)) = buffer.push(t) {
+            // Buffer filled before the period expired: unscheduled wakeup
+            // ("it requires logic to handle the overflow of the buffer
+            // before a period expires", §III-A).
+            self.batch_drain(i, now, Trigger::Overflow);
+            let pair = &mut self.pairs[i];
+            pair.buffer
+                .as_mut()
+                .expect("buffer persists")
+                .push(item)
+                .unwrap_or_else(|_| unreachable!("buffer was just drained"));
+        }
+    }
+
+    fn periodic_fire(&mut self, i: usize, now: SimTime) {
+        self.batch_drain(i, now, Trigger::Scheduled);
+        let period = match self.strategy {
+            StrategyKind::Pbp { period } | StrategyKind::Spbp { period } => period,
+            _ => unreachable!("TimerFire only armed for periodic strategies"),
+        };
+        // Both periodic strategies target the same nominal grid ("the
+        // consumer processes the batch within fixed time intervals",
+        // §III-A); the only difference is how accurately the timer hits
+        // it — nanosleep jitter for PBP, signal accuracy for SPBP. That
+        // isolation mirrors the paper's attribution of the PBP/SPBP gap
+        // entirely to timer accuracy.
+        let nominal = {
+            let pair = &mut self.pairs[i];
+            pair.periodic_anchor = pair.periodic_anchor.saturating_add(period);
+            // If jitter pushed us past whole periods, skip them.
+            while pair.periodic_anchor <= now {
+                pair.periodic_anchor = pair.periodic_anchor.saturating_add(period);
+            }
+            pair.periodic_anchor
+        };
+        let fire = self
+            .timer
+            .fire_time(nominal, self.engine.rng())
+            .max(now.saturating_add(SimDuration::from_nanos(1)));
+        if fire < self.end {
+            self.engine.schedule_at(fire, Ev::TimerFire { pair: i });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PBPL (§V)
+    // ------------------------------------------------------------------
+
+    /// Post-drain planning: predict, pick a slot (Eq. 8 backtracking),
+    /// resize the elastic buffer, reserve, and re-arm the core timer.
+    ///
+    /// `allow_shrink` is false when planning after an overflow: the
+    /// prediction just proved too low, so releasing capacity would invite
+    /// the next overflow immediately — the paper's resizing exists to
+    /// *convert* overflows into scheduled wakeups, not to multiply them.
+    fn pbpl_plan(&mut self, i: usize, now: SimTime, allow_shrink: bool) {
+        let cfg = self.pbpl_config().expect("PBPL planning").clone();
+        let core = self.pairs[i].core;
+        let rate = self.pairs[i]
+            .predictor
+            .as_ref()
+            .expect("PBPL consumer has a predictor")
+            .rate();
+        // Selection plans with the consumer's *entitlement* — at least
+        // its fair share B₀ — not its currently-shrunk allocation:
+        // downsized space is a loan to the pool that `plan_resize` below
+        // reclaims before the predicted items arrive. Planning with the
+        // shrunk size would collapse the fill horizon after every latch
+        // and degrade PBPL into per-slot polling.
+        let capacity = self.pairs[i]
+            .buffer
+            .as_ref()
+            .expect("PBPL consumer has a buffer")
+            .capacity()
+            .max(self.base_capacity);
+        let track = *self.managers[core].track();
+        let max_latency = self.pairs[i].max_latency;
+
+        let mut choice = select_slot(
+            &track,
+            &self.managers[core],
+            &self.cost,
+            now,
+            rate,
+            capacity,
+            max_latency,
+            cfg.latching,
+            Some(PairId(i)),
+        );
+        if cfg.resizing {
+            let buffer = self.pairs[i].buffer.as_mut().expect("checked above");
+            if choice.rate_overrun {
+                // §V-C upsizing: the predicted rate cannot be served by
+                // the current buffer before any slot — request space to
+                // survive one slot past the earliest (the paper's
+                // Bᵢ = min(pool, r̂·(τ_next − τ_now)), with one slot of
+                // headroom so there is something left to batch) and
+                // re-plan with what the pool granted.
+                let next_start = track.slot_start(track.next_slot_after(now) + 1);
+                let want = overrun_target(rate, now, next_start, cfg.resize_margin);
+                let granted = buffer.grow_to(want);
+                choice = select_slot(
+                    &track,
+                    &self.managers[core],
+                    &self.cost,
+                    now,
+                    rate,
+                    granted,
+                    max_latency,
+                    cfg.latching,
+                    Some(PairId(i)),
+                );
+            }
+            let buffer = self.pairs[i].buffer.as_mut().expect("checked above");
+            // Size for the reservation *plus one slot of post-wake
+            // refill*. Sizing to the reserved slot alone (the paper's
+            // literal formula) interacts badly with latching: a latch
+            // onto a near slot predicts few items, the buffer shrinks to
+            // a handful, and the next burst overflows it — an
+            // oscillation that converts scheduled wakeups back into
+            // overflows, the opposite of the algorithm's goal.
+            let predicted = predicted_fill_items(rate, now, track.slot_start(choice.slot + 1));
+            // A zero prediction means the estimator has no signal yet (or
+            // a genuinely silent producer); sizing to it would shrink the
+            // buffer to nothing on bootstrap. Keep the allocation.
+            if predicted > 0.0 {
+                match plan_resize(buffer.capacity(), predicted, cfg.resize_margin) {
+                    ResizePlan::Shrink(target) if allow_shrink => {
+                        buffer.shrink_to(target);
+                    }
+                    ResizePlan::Shrink(_) => {}
+                    ResizePlan::Grow(target) => {
+                        buffer.grow_to(target);
+                    }
+                    ResizePlan::Keep => {}
+                }
+            }
+        }
+        self.managers[core].reserve(choice.slot, PairId(i));
+        self.ensure_scheduled(core, now);
+    }
+
+    fn pbpl_invoke(&mut self, i: usize, now: SimTime, trigger: Trigger) {
+        let n = self.batch_drain(i, now, trigger);
+        let pair = &mut self.pairs[i];
+        let dt = now.saturating_since(pair.last_invocation);
+        pair.last_invocation = now;
+        pair.predictor
+            .as_mut()
+            .expect("PBPL consumer has a predictor")
+            .observe(n, dt);
+        self.pbpl_plan(i, now, trigger != Trigger::Overflow);
+    }
+
+    fn pbpl_produce(&mut self, i: usize, t: SimTime) {
+        let now = self.engine.now();
+        let pair = &mut self.pairs[i];
+        let buffer = pair.buffer.as_mut().expect("PBPL has a buffer");
+        if let Err(Overflow(item)) = buffer.push(t) {
+            self.pbpl_invoke(i, now, Trigger::Overflow);
+            let pair = &mut self.pairs[i];
+            pair.buffer
+                .as_mut()
+                .expect("buffer persists")
+                .push(item)
+                .unwrap_or_else(|_| unreachable!("buffer was just drained"));
+            // The overflow woke the core regardless; let neighbours latch
+            // onto it (§V-A group latching) and re-arm the slot timer.
+            // The overflowing consumer itself just drained — excluding it
+            // avoids a zero-dt double invocation when its buffer is tiny.
+            let core = self.pairs[i].core;
+            self.pbpl_piggyback(core, now, Some(i));
+            self.ensure_scheduled(core, now);
+        }
+    }
+
+    fn slot_wake(&mut self, core: usize, slot: SlotIndex, now: SimTime) {
+        self.slot_timer[core] = None;
+        let due = self.managers[core].take_due(slot);
+        for consumer in due {
+            self.pbpl_invoke(consumer.0, now, Trigger::Scheduled);
+        }
+        self.pbpl_piggyback(core, now, None);
+        self.ensure_scheduled(core, now);
+    }
+
+    /// Group latching on an already-awake core: "if the CPU is already
+    /// awake at a specific point in time, then it is beneficial to
+    /// schedule consumers to be invoked at that same time" (§V-A). Any
+    /// consumer on this core that has accumulated a meaningful batch
+    /// drains now for free — w = 0 in ρ — which both cancels its own
+    /// pending wakeup (its re-reservation moves a full buffer-fill into
+    /// the future) and lets it shrink toward an empty-buffer prediction,
+    /// feeding the pool that bursting neighbours draw on.
+    fn pbpl_piggyback(&mut self, core: usize, now: SimTime, exclude: Option<usize>) {
+        let Some(cfg) = self.pbpl_config() else { return };
+        if !cfg.latching || !cfg.piggyback {
+            return;
+        }
+        for k in 0..self.pairs_by_core[core].len() {
+            let i = self.pairs_by_core[core][k];
+            if Some(i) == exclude {
+                continue;
+            }
+            let pair = &self.pairs[i];
+            let Some(buffer) = pair.buffer.as_ref() else { continue };
+            if buffer.len() * 8 < buffer.capacity() {
+                continue; // not enough batched to be worth a dispatch
+            }
+            self.pbpl_invoke(i, now, Trigger::Scheduled);
+        }
+    }
+
+    /// Arms (or re-targets) the core's single timer at its earliest
+    /// reserved slot — "the core manager will schedule the next slot with
+    /// at least one reservation" (§V-B).
+    fn ensure_scheduled(&mut self, core: usize, now: SimTime) {
+        let want = self.managers[core].first_reserved();
+        let current = self.slot_timer[core];
+        match (current, want) {
+            (Some((_, s)), Some(w)) if s == w => {}
+            (current, Some(w)) => {
+                if let Some((id, _)) = current {
+                    self.engine.cancel(id);
+                }
+                let nominal = self.managers[core].track().slot_start(w);
+                let fire = self
+                    .timer
+                    .fire_time(nominal, self.engine.rng())
+                    .max(now.saturating_add(SimDuration::from_nanos(1)));
+                if fire >= self.end {
+                    // The run ends before this slot; the end-of-run flush
+                    // drains whatever would have been batched there.
+                    self.slot_timer[core] = None;
+                    return;
+                }
+                let id = self.engine.schedule_at(fire, Ev::SlotWake { core, slot: w });
+                self.slot_timer[core] = Some((id, w));
+            }
+            (Some((id, _)), None) => {
+                self.engine.cancel(id);
+                self.slot_timer[core] = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Busy strategies (BW, Yield)
+    // ------------------------------------------------------------------
+
+    fn busy_produce(&mut self, i: usize, t: SimTime) {
+        // Spinning consumers observe items immediately.
+        let pair = &mut self.pairs[i];
+        pair.metrics.items_consumed += 1;
+        pair.metrics.record_latency(t, t);
+    }
+
+    // ------------------------------------------------------------------
+    // Driver
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Produce { pair } => {
+                let t = self.pairs[pair].times[self.pairs[pair].next_idx];
+                self.pairs[pair].next_idx += 1;
+                self.pairs[pair].metrics.items_produced += 1;
+                match self.strategy {
+                    StrategyKind::BusyWait | StrategyKind::Yield => self.busy_produce(pair, t),
+                    StrategyKind::Mutex | StrategyKind::Sem => self.item_produce(pair, t),
+                    StrategyKind::Bp => self.bp_produce(pair, t),
+                    StrategyKind::Pbp { .. } | StrategyKind::Spbp { .. } => {
+                        self.periodic_produce(pair, t)
+                    }
+                    StrategyKind::Pbpl(_) => self.pbpl_produce(pair, t),
+                }
+                self.schedule_next_produce(pair);
+            }
+            Ev::DrainDone { pair } => {
+                let now = self.engine.now();
+                self.item_drain_done(pair, now);
+            }
+            Ev::TimerFire { pair } => {
+                let now = self.engine.now();
+                self.periodic_fire(pair, now);
+            }
+            Ev::SlotWake { core, slot } => {
+                let now = self.engine.now();
+                self.slot_wake(core, slot, now);
+            }
+        }
+    }
+
+    fn run(mut self) -> RunMetrics {
+        // Strategy-specific setup.
+        match &self.strategy {
+            StrategyKind::BusyWait => {
+                let occupied: Vec<usize> = self.occupied_cores();
+                for c in occupied {
+                    self.cores[c].add_active_span(SimTime::ZERO, self.end);
+                    self.core_busy_until[c] = self.end;
+                }
+            }
+            StrategyKind::Yield => {
+                let occupied: Vec<usize> = self.occupied_cores();
+                for c in occupied {
+                    let mut t = SimTime::ZERO;
+                    let busy = YIELD_TICK.saturating_sub(YIELD_IDLE_PER_TICK);
+                    while t < self.end {
+                        let span_end = (t + busy).min(self.end);
+                        self.cores[c].add_active_span(t, span_end);
+                        t += YIELD_TICK;
+                    }
+                    self.core_busy_until[c] = self.end;
+                }
+            }
+            StrategyKind::Pbp { period } | StrategyKind::Spbp { period } => {
+                let period = *period;
+                for i in 0..self.pairs.len() {
+                    self.pairs[i].periodic_anchor = SimTime::ZERO + period;
+                    let fire = self
+                        .timer
+                        .fire_time(SimTime::ZERO + period, self.engine.rng());
+                    self.engine.schedule_at(fire, Ev::TimerFire { pair: i });
+                }
+            }
+            StrategyKind::Pbpl(_) => {
+                for i in 0..self.pairs.len() {
+                    self.pbpl_plan(i, SimTime::ZERO, true);
+                }
+            }
+            _ => {}
+        }
+        for i in 0..self.pairs.len() {
+            self.schedule_next_produce(i);
+        }
+
+        while let Some((_t, ev)) = self.engine.next_before(self.end) {
+            self.handle(ev);
+        }
+        self.engine.advance_to(self.end);
+
+        // End-of-run flush: account for items still buffered so the
+        // conservation invariant (produced == consumed) holds. No wakeups
+        // or core spans are charged — the run is over.
+        for pair in &mut self.pairs {
+            let mut leftovers = Vec::new();
+            pair.backlog.drain(..).for_each(|t| leftovers.push(t));
+            if let Some(buffer) = pair.buffer.as_mut() {
+                buffer.drain_into(&mut leftovers);
+            }
+            if !leftovers.is_empty() {
+                for &t in &leftovers {
+                    pair.metrics.record_latency(t, self.end);
+                }
+                pair.metrics.items_consumed += leftovers.len() as u64;
+            }
+        }
+
+        let end = self.end;
+        let slot_fires: u64 = self.managers.iter().map(|m| m.scheduled_wakeups()).sum();
+        let reports: Vec<_> = self.cores.into_iter().map(|c| c.finish(end)).collect();
+        let governor = self.governor;
+        let mut energy = account_cores(&reports, &self.power, || governor.build());
+        if matches!(self.strategy, StrategyKind::Yield) {
+            // §III-C: DVFS steps the clock down under constant yielding;
+            // discount the active-time energy accordingly.
+            let active_secs: f64 = reports.iter().map(|r| r.active_time.as_secs_f64()).sum();
+            energy.energy_j -= active_secs * self.power.active_power_w * (1.0 - YIELD_DVFS_FACTOR);
+        }
+        let meter = Meter::aggregate(&reports);
+        let items_consumed = self.pairs.iter().map(|p| p.metrics.items_consumed).sum();
+        let items_produced = self.pairs.iter().map(|p| p.metrics.items_produced).sum();
+        RunMetrics {
+            strategy: self.strategy.name().to_string(),
+            duration: end.saturating_since(SimTime::ZERO),
+            pairs: self.pairs.into_iter().map(|p| p.metrics).collect(),
+            core_reports: reports,
+            energy,
+            meter,
+            items_consumed,
+            items_produced,
+            slot_fires,
+        }
+    }
+
+    fn occupied_cores(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.cores.len()];
+        for p in &self.pairs {
+            seen[p.core] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
+    }
+}
+
+/// Namespace entry point: `Experiment::builder()…run()`.
+pub struct Experiment;
+
+impl Experiment {
+    /// Starts configuring an experiment run.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+}
+
+/// Builder for a single simulation run.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    pairs: usize,
+    cores: usize,
+    duration: SimDuration,
+    strategy: StrategyKind,
+    trace_cfg: WorldCupConfig,
+    explicit_traces: Option<Vec<Trace>>,
+    seed: u64,
+    power: PowerModel,
+    buffer_capacity: usize,
+    governor: GovernorKind,
+    max_latencies: Option<Vec<SimDuration>>,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        ExperimentBuilder {
+            pairs: 2,
+            cores: 2,
+            duration: SimDuration::from_secs(1),
+            strategy: StrategyKind::pbpl_default(),
+            trace_cfg: WorldCupConfig::paper_default(),
+            explicit_traces: None,
+            seed: 42,
+            power: PowerModel::exynos_like(),
+            buffer_capacity: 50,
+            governor: GovernorKind::Oracle,
+            max_latencies: None,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Number of producer-consumer pairs M.
+    pub fn pairs(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one pair");
+        self.pairs = n;
+        self
+    }
+
+    /// Number of cores A. Consumers are assigned round-robin (`i mod A`).
+    pub fn cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one core");
+        self.cores = n;
+        self
+    }
+
+    /// Run length (the paper uses 50 s).
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        assert!(!d.is_zero(), "duration must be nonzero");
+        self.duration = d;
+        self
+    }
+
+    /// The consumer strategy under test.
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Workload configuration; the horizon is overridden by
+    /// [`ExperimentBuilder::duration`].
+    pub fn trace(mut self, cfg: WorldCupConfig) -> Self {
+        self.trace_cfg = cfg;
+        self
+    }
+
+    /// Explicit per-pair traces (overrides the generator). Must supply
+    /// exactly one trace per pair at run time.
+    pub fn traces(mut self, traces: Vec<Trace>) -> Self {
+        self.explicit_traces = Some(traces);
+        self
+    }
+
+    /// RNG seed; also seeds the workload generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Platform power model.
+    pub fn power(mut self, model: PowerModel) -> Self {
+        self.power = model;
+        self
+    }
+
+    /// Per-pair base buffer capacity B₀ (the paper sweeps 25/50/100).
+    /// The PBPL global pool is sized B₀·M per §V-C.
+    pub fn buffer_capacity(mut self, b: usize) -> Self {
+        assert!(b > 0, "buffer capacity must be nonzero");
+        self.buffer_capacity = b;
+        self
+    }
+
+    /// Idle governor used by energy accounting (default: post-hoc
+    /// oracle; `Menu` charges real energy for mispredicted idles).
+    pub fn governor(mut self, g: GovernorKind) -> Self {
+        self.governor = g;
+        self
+    }
+
+    /// Per-consumer maximum response latencies (PBPL; one per pair).
+    /// When set, the slot size follows the paper's default — "the
+    /// minimum of all maximum acceptable response latencies" — and each
+    /// consumer plans within its own bound instead of the shared
+    /// `PbplConfig::max_latency`.
+    pub fn max_latencies(mut self, latencies: Vec<SimDuration>) -> Self {
+        assert!(
+            latencies.iter().all(|l| !l.is_zero()),
+            "latency bounds must be nonzero"
+        );
+        self.max_latencies = Some(latencies);
+        self
+    }
+
+    /// Runs the experiment and returns its metrics.
+    pub fn run(self) -> RunMetrics {
+        let end = SimTime::ZERO + self.duration;
+        let traces: Vec<Trace> = match &self.explicit_traces {
+            Some(ts) => {
+                assert_eq!(ts.len(), self.pairs, "one trace per pair");
+                ts.iter().map(|t| t.truncate(end)).collect()
+            }
+            None => {
+                let mut cfg = self.trace_cfg.clone();
+                cfg.horizon = end;
+                let base = cfg.generate(self.seed.wrapping_add(0x7ace));
+                // §VI-A: "each consumer is shifted one Mth further into
+                // the dataset".
+                (0..self.pairs)
+                    .map(|i| base.phase_shift(i as f64 / self.pairs as f64))
+                    .collect()
+            }
+        };
+
+        if let Some(lats) = &self.max_latencies {
+            assert_eq!(
+                lats.len(),
+                self.pairs,
+                "one latency bound per pair (got {} for {} pairs)",
+                lats.len(),
+                self.pairs
+            );
+        }
+        if let StrategyKind::Pbpl(cfg) = &self.strategy {
+            assert!(
+                cfg.slot <= cfg.max_latency,
+                "PBPL slot Δ ({}) exceeds the max response latency ({}); \
+                 the paper derives Δ FROM the latency bounds (Δ = min max-latency), \
+                 so a coarser track cannot honour them",
+                cfg.slot,
+                cfg.max_latency
+            );
+        }
+        let is_batching = self.strategy.is_batching();
+        let pool = is_batching.then(|| GlobalPool::new(self.buffer_capacity * self.pairs));
+        let pbpl_cfg = match &self.strategy {
+            StrategyKind::Pbpl(cfg) => Some(cfg.clone()),
+            _ => None,
+        };
+
+        let pairs: Vec<PairState> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let buffer = pool.as_ref().map(|p| {
+                    let min_cap = match &pbpl_cfg {
+                        Some(cfg) => ((self.buffer_capacity as f64 * cfg.min_capacity_frac)
+                            .ceil() as usize)
+                            .clamp(1, self.buffer_capacity),
+                        // Fixed-size strategies never resize anyway.
+                        None => self.buffer_capacity,
+                    };
+                    ElasticBuffer::with_min(Arc::clone(p), self.buffer_capacity, min_cap)
+                        .expect("pool sized as B0*M covers every base reservation")
+                });
+                let max_latency = match (&self.max_latencies, &pbpl_cfg) {
+                    (Some(lats), _) => lats[i],
+                    (None, Some(cfg)) => cfg.max_latency,
+                    (None, None) => SimDuration::MAX,
+                };
+                PairState {
+                    max_latency,
+                    core: i % self.cores,
+                    times: trace.into_times(),
+                    next_idx: 0,
+                    metrics: PairMetrics::new(PairId(i)),
+                    busy_until: SimTime::ZERO,
+                    drain_pending: false,
+                    backlog: Vec::new(),
+                    buffer,
+                    predictor: pbpl_cfg
+                        .as_ref()
+                        .map(|cfg| cfg.predictor.build(0.0)),
+                    last_invocation: SimTime::ZERO,
+                    periodic_anchor: SimTime::ZERO,
+                }
+            })
+            .collect();
+
+        // §V-A: "the default slot size is equal to the minimum of all
+        // maximum acceptable response latencies" — honoured whenever
+        // explicit per-consumer bounds are given.
+        let delta = match (&self.max_latencies, &pbpl_cfg) {
+            (Some(lats), Some(_)) => lats
+                .iter()
+                .copied()
+                .min()
+                .expect("at least one pair exists"),
+            (None, Some(cfg)) => cfg.slot,
+            _ => SimDuration::from_millis(1),
+        };
+        let track = SlotTrack::new(delta);
+        let managers = (0..self.cores).map(|_| CoreManager::new(track)).collect();
+
+        let mut pairs_by_core = vec![Vec::new(); self.cores];
+        for (i, p) in pairs.iter().enumerate() {
+            pairs_by_core[p.core].push(i);
+        }
+        let sim = Sim {
+            pairs_by_core,
+            governor: self.governor,
+            timer: self.strategy.timer_model(),
+            cost: CostModel::from_power_model(&self.power),
+            strategy: self.strategy,
+            power: self.power,
+            end,
+            engine: Engine::new(self.seed),
+            cores: (0..self.cores).map(|c| Core::new(CoreId(c))).collect(),
+            core_busy_until: vec![SimTime::ZERO; self.cores],
+            managers,
+            slot_timer: vec![None; self.cores],
+            pairs,
+            base_capacity: self.buffer_capacity,
+            scratch: Vec::new(),
+            _pool: pool,
+        };
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorKind;
+
+    fn quick(strategy: StrategyKind) -> RunMetrics {
+        Experiment::builder()
+            .pairs(2)
+            .cores(2)
+            .duration(SimDuration::from_millis(200))
+            .strategy(strategy)
+            .trace(WorldCupConfig::quick_test())
+            .seed(7)
+            .buffer_capacity(25)
+            .run()
+    }
+
+    fn all_strategies() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::BusyWait,
+            StrategyKind::Yield,
+            StrategyKind::Mutex,
+            StrategyKind::Sem,
+            StrategyKind::Bp,
+            StrategyKind::Pbp {
+                period: SimDuration::from_micros(100),
+            },
+            StrategyKind::Spbp {
+                period: SimDuration::from_micros(100),
+            },
+            StrategyKind::pbpl_default(),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_conserves_items() {
+        for s in all_strategies() {
+            let m = quick(s.clone());
+            assert!(m.items_produced > 0, "{}: no items produced", s.name());
+            assert!(
+                m.all_items_consumed(),
+                "{}: produced {} consumed {}",
+                s.name(),
+                m.items_produced,
+                m.items_consumed
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        for s in [StrategyKind::Mutex, StrategyKind::pbpl_default()] {
+            let a = quick(s.clone());
+            let b = quick(s);
+            assert_eq!(a.items_consumed, b.items_consumed);
+            assert_eq!(a.meter.wakeups_per_sec, b.meter.wakeups_per_sec);
+            assert!((a.energy.energy_j - b.energy.energy_j).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn busy_wait_profile() {
+        let m = quick(StrategyKind::BusyWait);
+        // Usage ≈ full (2 cores × 1000 ms/s), wakeups ≈ 0.
+        assert!(m.usage_ms_per_sec() > 1900.0, "usage {}", m.usage_ms_per_sec());
+        assert!(m.wakeups_per_sec() < 20.0, "wakeups {}", m.wakeups_per_sec());
+        assert_eq!(m.mean_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn yield_draws_less_power_than_busy_wait() {
+        let bw = quick(StrategyKind::BusyWait);
+        let y = quick(StrategyKind::Yield);
+        assert!(
+            y.extra_power_mw() < bw.extra_power_mw(),
+            "yield {} vs bw {}",
+            y.extra_power_mw(),
+            bw.extra_power_mw()
+        );
+        assert!(y.wakeups_per_sec() > bw.wakeups_per_sec());
+    }
+
+    #[test]
+    fn batchers_use_less_power_than_busy_wait() {
+        let bw = quick(StrategyKind::BusyWait);
+        for s in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+            let m = quick(s.clone());
+            assert!(
+                m.extra_power_mw() < 0.5 * bw.extra_power_mw(),
+                "{} {} vs BW {}",
+                s.name(),
+                m.extra_power_mw(),
+                bw.extra_power_mw()
+            );
+        }
+    }
+
+    #[test]
+    fn bp_wakeups_are_all_overflows() {
+        let m = quick(StrategyKind::Bp);
+        assert_eq!(m.scheduled_wakeups(), 0);
+        assert!(m.overflow_wakeups() > 0);
+        // Invocation count ≈ items / capacity.
+        let expected = m.items_produced / 25;
+        let got = m.overflow_wakeups();
+        assert!(
+            got >= expected.saturating_sub(2) && got <= expected + 2,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn pbp_has_more_overflows_than_spbp() {
+        // §III-C: nanosleep jitter causes more buffer overflows.
+        // Use a tighter buffer so jitter actually bites.
+        let run = |s| {
+            Experiment::builder()
+                .pairs(2)
+                .cores(2)
+                .duration(SimDuration::from_millis(500))
+                .strategy(s)
+                .trace(WorldCupConfig::quick_test())
+                .seed(11)
+                .buffer_capacity(8)
+                .run()
+        };
+        let pbp = run(StrategyKind::Pbp {
+            period: SimDuration::from_micros(500),
+        });
+        let spbp = run(StrategyKind::Spbp {
+            period: SimDuration::from_micros(500),
+        });
+        assert!(
+            pbp.overflow_wakeups() >= spbp.overflow_wakeups(),
+            "pbp {} vs spbp {}",
+            pbp.overflow_wakeups(),
+            spbp.overflow_wakeups()
+        );
+    }
+
+    #[test]
+    fn pbpl_beats_bp_on_wakeups() {
+        let run = |s| {
+            Experiment::builder()
+                .pairs(5)
+                .cores(2)
+                .duration(SimDuration::from_secs(1))
+                .strategy(s)
+                .trace(WorldCupConfig::quick_test())
+                .seed(3)
+                .buffer_capacity(25)
+                .run()
+        };
+        let bp = run(StrategyKind::Bp);
+        let pbpl = run(StrategyKind::pbpl_default());
+        assert!(
+            pbpl.wakeups_per_sec() < bp.wakeups_per_sec(),
+            "pbpl {} vs bp {}",
+            pbpl.wakeups_per_sec(),
+            bp.wakeups_per_sec()
+        );
+    }
+
+    #[test]
+    fn pbpl_latency_bounded_for_scheduled_items() {
+        let cfg = PbplConfig {
+            slot: SimDuration::from_millis(2),
+            max_latency: SimDuration::from_millis(5),
+            ..PbplConfig::default()
+        };
+        let m = quick(StrategyKind::Pbpl(cfg));
+        // Scheduled wakeups occur at most max_latency + slot + work after
+        // buffering; allow generous slack for the end-of-run flush.
+        assert!(
+            m.mean_latency() < SimDuration::from_millis(6),
+            "mean latency {}",
+            m.mean_latency()
+        );
+    }
+
+    #[test]
+    fn pbpl_records_scheduled_and_overflow_split() {
+        let m = quick(StrategyKind::pbpl_default());
+        assert!(m.scheduled_wakeups() > 0, "slot wakeups must occur");
+        let total: u64 = m.pairs.iter().map(|p| p.invocations).sum();
+        assert_eq!(
+            total,
+            m.scheduled_wakeups() + m.overflow_wakeups(),
+            "every PBPL invocation is scheduled or overflow"
+        );
+    }
+
+    #[test]
+    fn mutex_and_sem_wake_per_burst_not_per_item() {
+        let m = quick(StrategyKind::Mutex);
+        let item_wakes: u64 = m.pairs.iter().map(|p| p.item_wakeups).sum();
+        assert!(item_wakes > 0);
+        assert!(
+            (item_wakes as f64) < 0.8 * m.items_produced as f64,
+            "clustered arrivals must coalesce: {} wakes for {} items",
+            item_wakes,
+            m.items_produced
+        );
+    }
+
+    #[test]
+    fn sem_cheaper_than_mutex() {
+        let mutex = quick(StrategyKind::Mutex);
+        let sem = quick(StrategyKind::Sem);
+        assert!(sem.usage_ms_per_sec() <= mutex.usage_ms_per_sec());
+        assert!(sem.extra_power_mw() <= mutex.extra_power_mw());
+    }
+
+    #[test]
+    fn single_core_forces_sharing() {
+        let m = Experiment::builder()
+            .pairs(4)
+            .cores(1)
+            .duration(SimDuration::from_millis(100))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(WorldCupConfig::quick_test())
+            .seed(5)
+            .run();
+        assert!(m.all_items_consumed());
+        assert_eq!(m.core_reports.len(), 1);
+    }
+
+    #[test]
+    fn explicit_traces_respected() {
+        let horizon = SimTime::from_millis(10);
+        let t0 = Trace::new(vec![SimTime::from_millis(1)], horizon);
+        let t1 = Trace::new(
+            vec![SimTime::from_millis(2), SimTime::from_millis(3)],
+            horizon,
+        );
+        let m = Experiment::builder()
+            .pairs(2)
+            .cores(1)
+            .duration(SimDuration::from_millis(10))
+            .strategy(StrategyKind::Mutex)
+            .traces(vec![t0, t1])
+            .run();
+        assert_eq!(m.items_produced, 3);
+        assert_eq!(m.pairs[0].items_produced, 1);
+        assert_eq!(m.pairs[1].items_produced, 2);
+    }
+
+    #[test]
+    fn empty_trace_runs_clean() {
+        let horizon = SimTime::from_millis(10);
+        let m = Experiment::builder()
+            .pairs(1)
+            .cores(1)
+            .duration(SimDuration::from_millis(10))
+            .strategy(StrategyKind::pbpl_default())
+            .traces(vec![Trace::new(vec![], horizon)])
+            .run();
+        assert_eq!(m.items_produced, 0);
+        assert!(m.all_items_consumed());
+    }
+
+    #[test]
+    fn core_timelines_validate() {
+        for s in all_strategies() {
+            let m = quick(s.clone());
+            for r in &m.core_reports {
+                r.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn pbpl_elastic_capacity_varies_when_resizing() {
+        // Several consumers on one core with a bursty trace: dynamic
+        // sizing must move at least some capacity samples off the fixed
+        // base (paper: 43 of 50 allocated on average).
+        // Rate swings around B0-per-slot so both shrink (quiet troughs)
+        // and grow (peaks) trigger.
+        let trace = WorldCupConfig {
+            mean_rate: 700.0,
+            diurnal_swing: 5.0,
+            diurnal_cycles: 3.0,
+            ..WorldCupConfig::quick_test()
+        };
+        let m = Experiment::builder()
+            .pairs(4)
+            .cores(1)
+            .duration(SimDuration::from_millis(800))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(trace)
+            .seed(9)
+            .buffer_capacity(25)
+            .run();
+        let mean_cap = m.mean_capacity();
+        assert!(mean_cap > 0.0);
+        assert!(
+            (mean_cap - 25.0).abs() > 0.2,
+            "capacity should deviate from B0=25, got {mean_cap}"
+        );
+    }
+
+    #[test]
+    fn pbpl_no_resizing_keeps_base_capacity() {
+        let cfg = PbplConfig {
+            resizing: false,
+            ..PbplConfig::default()
+        };
+        let m = quick(StrategyKind::Pbpl(cfg));
+        assert!(
+            (m.mean_capacity() - 25.0).abs() < 1e-9,
+            "fixed capacity expected, got {}",
+            m.mean_capacity()
+        );
+    }
+
+    #[test]
+    fn kalman_predictor_runs() {
+        let cfg = PbplConfig {
+            predictor: PredictorKind::Kalman { q: 1e6, r: 1e7 },
+            ..PbplConfig::default()
+        };
+        let m = quick(StrategyKind::Pbpl(cfg));
+        assert!(m.all_items_consumed());
+    }
+}

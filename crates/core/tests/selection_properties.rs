@@ -1,0 +1,112 @@
+//! Property tests on the ρ cost function and slot selection (§V-C):
+//! invariants that must hold for arbitrary rates, capacities, latency
+//! bounds and reservation books.
+
+use pc_core::{select_slot, CoreManager, CostModel, PairId, SlotTrack};
+use pc_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn cost() -> CostModel {
+    CostModel {
+        wakeup_energy_j: 120e-6,
+        item_energy_j: 3.2e-6,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chosen_slot_is_strictly_future_and_within_deadline(
+        delta_us in 100u64..100_000,
+        now_us in 0u64..1_000_000,
+        rate in 0.0f64..1e6,
+        capacity in 1usize..500,
+        latency_us in 100u64..1_000_000,
+        reservations in prop::collection::vec((1u64..200, 0usize..8), 0..10),
+    ) {
+        let track = SlotTrack::new(SimDuration::from_micros(delta_us));
+        let mut manager = CoreManager::new(track);
+        for (slot, consumer) in reservations {
+            manager.reserve(slot, PairId(consumer));
+        }
+        let now = SimTime::from_micros(now_us);
+        let max_latency = SimDuration::from_micros(latency_us.max(delta_us));
+        let choice = select_slot(
+            &track, &manager, &cost(), now, rate, capacity, max_latency, true, Some(PairId(99)),
+        );
+        // Strictly in the future.
+        prop_assert!(track.slot_start(choice.slot) > now, "slot {} not after {now}", choice.slot);
+        // Never beyond one slot past the latency deadline (slot
+        // quantisation can round the deadline up by at most Δ).
+        let bound = now.saturating_add(max_latency).saturating_add(SimDuration::from_micros(delta_us));
+        prop_assert!(
+            track.slot_start(choice.slot) <= bound,
+            "slot {} start {} beyond deadline bound {bound}",
+            choice.slot,
+            track.slot_start(choice.slot)
+        );
+        // Predicted items consistent with rate × horizon.
+        let horizon = track.slot_start(choice.slot).saturating_since(now).as_secs_f64();
+        prop_assert!((choice.predicted_items - rate * horizon).abs() < 1e-6 * (1.0 + rate));
+    }
+
+    #[test]
+    fn latched_choice_never_costs_more_per_item_than_the_candidate(
+        delta_us in 500u64..50_000,
+        rate in 1.0f64..1e5,
+        capacity in 1usize..200,
+        reserved_slot in 1u64..40,
+    ) {
+        let track = SlotTrack::new(SimDuration::from_micros(delta_us));
+        let mut with_res = CoreManager::new(track);
+        with_res.reserve(reserved_slot, PairId(7));
+        let empty = CoreManager::new(track);
+        let now = SimTime::ZERO;
+        let max_latency = SimDuration::from_micros(delta_us * 50);
+        let c = cost();
+        let latched = select_slot(&track, &with_res, &c, now, rate, capacity, max_latency, true, Some(PairId(0)));
+        let lone = select_slot(&track, &empty, &c, now, rate, capacity, max_latency, true, Some(PairId(0)));
+        let rho_of = |choice: &pc_core::SlotChoice| c.rho(!choice.latched, choice.predicted_items);
+        // Adding a latch opportunity can only improve (or not affect) the
+        // per-item cost of the selection.
+        prop_assert!(
+            rho_of(&latched) <= rho_of(&lone) + 1e-18,
+            "latched rho {} vs lone rho {}",
+            rho_of(&latched),
+            rho_of(&lone)
+        );
+    }
+
+    #[test]
+    fn latching_flag_off_ignores_books(
+        delta_us in 500u64..50_000,
+        rate in 1.0f64..1e5,
+        capacity in 1usize..200,
+        reservations in prop::collection::vec((1u64..50, 0usize..8), 0..10),
+    ) {
+        let track = SlotTrack::new(SimDuration::from_micros(delta_us));
+        let mut manager = CoreManager::new(track);
+        for (slot, consumer) in reservations {
+            manager.reserve(slot, PairId(consumer));
+        }
+        let empty = CoreManager::new(track);
+        let now = SimTime::ZERO;
+        let max_latency = SimDuration::from_micros(delta_us * 20);
+        let c = cost();
+        let a = select_slot(&track, &manager, &c, now, rate, capacity, max_latency, false, Some(PairId(99)));
+        let b = select_slot(&track, &empty, &c, now, rate, capacity, max_latency, false, Some(PairId(99)));
+        prop_assert_eq!(a.slot, b.slot, "without latching the book must not matter");
+        prop_assert!(!a.latched);
+    }
+
+    #[test]
+    fn rho_monotonicity(items_a in 0.1f64..1e6, factor in 1.01f64..100.0) {
+        // With a wakeup, more items always means lower (or equal) cost
+        // per item; latched cost is item-count independent (linear e).
+        let c = cost();
+        let items_b = items_a * factor;
+        prop_assert!(c.rho(true, items_b) < c.rho(true, items_a));
+        prop_assert!((c.rho(false, items_a) - c.rho(false, items_b)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,104 @@
+//! CSV export of timelines and meter series — the bridge from simulation
+//! output to whatever plots the figures (gnuplot, matplotlib, a
+//! spreadsheet).
+//!
+//! Columns are stable and documented here; all times in seconds, power
+//! in watts.
+
+use crate::meter::MeterSample;
+use pc_sim::core::CoreReport;
+use pc_sim::CoreState;
+use std::fmt::Write as _;
+
+/// One core's idle/active timeline as CSV:
+/// `start_s,end_s,state` with `state ∈ {idle, active}`.
+pub fn timeline_csv(report: &CoreReport) -> String {
+    let mut out = String::from("start_s,end_s,state\n");
+    for iv in &report.timeline {
+        let state = match iv.state {
+            CoreState::Active => "active",
+            CoreState::Idle => "idle",
+        };
+        writeln!(
+            out,
+            "{:.9},{:.9},{state}",
+            iv.start.as_secs_f64(),
+            iv.end.as_secs_f64()
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// A meter sample series as CSV:
+/// `window_start_s,wakeups_per_sec,usage_ms_per_sec`.
+pub fn meter_csv(samples: &[MeterSample]) -> String {
+    let mut out = String::from("window_start_s,wakeups_per_sec,usage_ms_per_sec\n");
+    for s in samples {
+        writeln!(
+            out,
+            "{:.6},{:.3},{:.6}",
+            s.start.as_secs_f64(),
+            s.wakeups_per_sec,
+            s.usage_ms_per_sec
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::Meter;
+    use pc_sim::{Core, CoreId, SimDuration, SimTime};
+
+    fn report() -> CoreReport {
+        let mut c = Core::new(CoreId(0));
+        c.add_active_span(SimTime::from_millis(10), SimTime::from_millis(20));
+        c.add_active_span(SimTime::from_millis(50), SimTime::from_millis(55));
+        c.finish(SimTime::from_millis(100))
+    }
+
+    #[test]
+    fn timeline_csv_shape() {
+        let csv = timeline_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "start_s,end_s,state");
+        // idle, active, idle, active, idle = 5 intervals.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].ends_with(",idle"));
+        assert!(lines[2].ends_with(",active"));
+        assert!(lines[2].starts_with("0.010000000,0.020000000"));
+    }
+
+    #[test]
+    fn timeline_csv_covers_run() {
+        let csv = timeline_csv(&report());
+        let last = csv.lines().last().unwrap();
+        assert!(last.contains("0.100000000"), "{last}");
+    }
+
+    #[test]
+    fn meter_csv_shape() {
+        let samples = Meter::new(SimDuration::from_millis(25)).sample(&report());
+        let csv = meter_csv(&samples);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "window_start_s,wakeups_per_sec,usage_ms_per_sec");
+        assert_eq!(lines.len(), 1 + samples.len());
+        // First window (0..25ms) holds one wakeup → 40/s.
+        assert!(lines[1].starts_with("0.000000,40.000"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn csv_parses_back_numerically() {
+        let csv = timeline_csv(&report());
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 3);
+            let s: f64 = cols[0].parse().unwrap();
+            let e: f64 = cols[1].parse().unwrap();
+            assert!(e >= s);
+        }
+    }
+}

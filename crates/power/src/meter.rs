@@ -1,0 +1,267 @@
+//! A PowerTop-like meter.
+//!
+//! The paper measures two of its three metrics with PowerTop (§III-B):
+//! *wakeups/s* and *usage (ms/s)* — "the number of milliseconds the
+//! process spends executing every second". The [`Meter`] computes both
+//! from finished core timelines, either as run-wide aggregates or as a
+//! per-window series (PowerTop refreshes once a second; the window is
+//! configurable).
+
+use pc_sim::core::CoreReport;
+use pc_sim::{CoreState, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One sampling window's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeterSample {
+    /// Window start.
+    pub start: SimTime,
+    /// Window length.
+    pub window: SimDuration,
+    /// Idle→active transitions that began inside the window, scaled to
+    /// per-second.
+    pub wakeups_per_sec: f64,
+    /// Execution milliseconds per second of window time.
+    pub usage_ms_per_sec: f64,
+}
+
+/// Computes PowerTop-style metrics over core timelines.
+#[derive(Debug, Clone, Copy)]
+pub struct Meter {
+    window: SimDuration,
+}
+
+impl Meter {
+    /// A meter sampling with the given window (PowerTop uses 1 s).
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "meter window must be nonzero");
+        Meter { window }
+    }
+
+    /// Per-window samples for one core. Wakeups are attributed to the
+    /// window containing the idle→active edge; usage is the exact overlap
+    /// of active intervals with the window.
+    pub fn sample(&self, report: &CoreReport) -> Vec<MeterSample> {
+        let end = SimTime::ZERO + report.duration;
+        let mut samples = Vec::new();
+        let mut start = SimTime::ZERO;
+        // Cursor into the timeline: intervals are sorted and windows
+        // advance monotonically, so each interval is visited O(1) times
+        // overall instead of once per window.
+        let mut cursor = 0usize;
+        while start < end {
+            let wend = start.saturating_add(self.window).min(end);
+            let span = wend.since(start);
+            let mut active = SimDuration::ZERO;
+            let mut wakeups = 0u64;
+            // Skip intervals that ended before this window, remembering
+            // the last state for the wakeup-edge test.
+            let mut prev_state = if cursor > 0 {
+                Some(report.timeline[cursor - 1].state)
+            } else {
+                None
+            };
+            while cursor < report.timeline.len() && report.timeline[cursor].end <= start {
+                prev_state = Some(report.timeline[cursor].state);
+                cursor += 1;
+            }
+            let mut idx = cursor;
+            while idx < report.timeline.len() {
+                let iv = &report.timeline[idx];
+                if iv.start >= wend {
+                    break;
+                }
+                if iv.state == CoreState::Active {
+                    let lo = iv.start.max(start);
+                    let hi = iv.end.min(wend);
+                    active += hi.since(lo);
+                    // A wakeup edge at iv.start counts if it lies in the
+                    // window and follows idleness (or run start).
+                    let was_idle = prev_state.map(|s| s == CoreState::Idle).unwrap_or(true);
+                    if was_idle && iv.start >= start && iv.start < wend {
+                        wakeups += 1;
+                    }
+                }
+                prev_state = Some(iv.state);
+                idx += 1;
+            }
+            let secs = span.as_secs_f64();
+            samples.push(MeterSample {
+                start,
+                window: span,
+                wakeups_per_sec: if secs > 0.0 { wakeups as f64 / secs } else { 0.0 },
+                usage_ms_per_sec: if secs > 0.0 {
+                    active.as_secs_f64() * 1e3 / secs
+                } else {
+                    0.0
+                },
+            });
+            start = wend;
+        }
+        samples
+    }
+
+    /// Run-wide aggregate over several cores: total wakeups/s and summed
+    /// usage ms/s (PowerTop sums usage across CPUs for a process).
+    pub fn aggregate(reports: &[CoreReport]) -> MeterSample {
+        assert!(!reports.is_empty(), "aggregate needs at least one core");
+        let duration = reports[0].duration;
+        let mut wakeups = 0u64;
+        let mut active = SimDuration::ZERO;
+        for r in reports {
+            assert_eq!(r.duration, duration, "mismatched core run lengths");
+            wakeups += r.wakeups;
+            active += r.active_time;
+        }
+        let secs = duration.as_secs_f64();
+        MeterSample {
+            start: SimTime::ZERO,
+            window: duration,
+            wakeups_per_sec: if secs > 0.0 { wakeups as f64 / secs } else { 0.0 },
+            usage_ms_per_sec: if secs > 0.0 {
+                active.as_secs_f64() * 1e3 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_sim::{Core, CoreId};
+
+    fn report(spans: &[(u64, u64)], end_ms: u64) -> CoreReport {
+        let mut c = Core::new(CoreId(0));
+        for &(s, e) in spans {
+            c.add_active_span(SimTime::from_millis(s), SimTime::from_millis(e));
+        }
+        c.finish(SimTime::from_millis(end_ms))
+    }
+
+    #[test]
+    fn aggregate_matches_core_report() {
+        let r = report(&[(100, 200), (500, 550)], 1000);
+        let s = Meter::aggregate(std::slice::from_ref(&r));
+        assert!((s.wakeups_per_sec - r.wakeups_per_sec()).abs() < 1e-12);
+        assert!((s.usage_ms_per_sec - r.usage_ms_per_sec()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_partition_usage() {
+        // Active 100ms in first half, 50ms in second half of a 2s run.
+        let r = report(&[(100, 200), (1500, 1550)], 2000);
+        let m = Meter::new(SimDuration::from_secs(1));
+        let samples = m.sample(&r);
+        assert_eq!(samples.len(), 2);
+        assert!((samples[0].usage_ms_per_sec - 100.0).abs() < 1e-9);
+        assert!((samples[1].usage_ms_per_sec - 50.0).abs() < 1e-9);
+        assert!((samples[0].wakeups_per_sec - 1.0).abs() < 1e-12);
+        assert!((samples[1].wakeups_per_sec - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_crossing_window_boundary_splits_usage() {
+        // One active span 900..1100ms across the 1s boundary.
+        let r = report(&[(900, 1100)], 2000);
+        let m = Meter::new(SimDuration::from_secs(1));
+        let samples = m.sample(&r);
+        assert!((samples[0].usage_ms_per_sec - 100.0).abs() < 1e-9);
+        assert!((samples[1].usage_ms_per_sec - 100.0).abs() < 1e-9);
+        // Wakeup counted once, in the first window.
+        assert!((samples[0].wakeups_per_sec - 1.0).abs() < 1e-12);
+        assert_eq!(samples[1].wakeups_per_sec, 0.0);
+    }
+
+    #[test]
+    fn sum_of_window_wakeups_equals_total() {
+        let spans: Vec<(u64, u64)> = (0..20).map(|k| (k * 100, k * 100 + 10)).collect();
+        let r = report(&spans, 2000);
+        let m = Meter::new(SimDuration::from_millis(300));
+        let samples = m.sample(&r);
+        let total: f64 = samples
+            .iter()
+            .map(|s| s.wakeups_per_sec * s.window.as_secs_f64())
+            .sum();
+        assert!((total - r.wakeups as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_core_all_zeroes() {
+        let r = report(&[], 1000);
+        let m = Meter::new(SimDuration::from_millis(250));
+        for s in m.sample(&r) {
+            assert_eq!(s.wakeups_per_sec, 0.0);
+            assert_eq!(s.usage_ms_per_sec, 0.0);
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_cores() {
+        let a = report(&[(0, 100)], 1000);
+        let b = report(&[(200, 500)], 1000);
+        let s = Meter::aggregate(&[a, b]);
+        assert!((s.wakeups_per_sec - 2.0).abs() < 1e-12);
+        assert!((s.usage_ms_per_sec - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_rejected() {
+        Meter::new(SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use pc_sim::{Core, CoreId};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Window decomposition is exact: summing usage and wakeups over
+        /// any window size reproduces the run-wide totals.
+        #[test]
+        fn windows_partition_totals(
+            spans in prop::collection::vec((0u64..50_000, 1u64..2_000), 1..40),
+            window_us in 100u64..20_000,
+        ) {
+            let mut sorted: Vec<(u64, u64)> = spans
+                .into_iter()
+                .map(|(s, len)| (s, s + len))
+                .collect();
+            sorted.sort();
+            let end = sorted.iter().map(|&(_, e)| e).max().unwrap() + 1_000;
+            let mut core = Core::new(CoreId(0));
+            for &(s, e) in &sorted {
+                core.add_active_span(SimTime::from_micros(s), SimTime::from_micros(e));
+            }
+            let report = core.finish(SimTime::from_micros(end));
+            let samples = Meter::new(SimDuration::from_micros(window_us)).sample(&report);
+
+            let total_wakeups: f64 = samples
+                .iter()
+                .map(|s| s.wakeups_per_sec * s.window.as_secs_f64())
+                .sum();
+            prop_assert!((total_wakeups - report.wakeups as f64).abs() < 1e-6);
+
+            let total_active: f64 = samples
+                .iter()
+                .map(|s| s.usage_ms_per_sec * 1e-3 * s.window.as_secs_f64())
+                .sum();
+            prop_assert!(
+                (total_active - report.active_time.as_secs_f64()).abs() < 1e-9,
+                "active {} vs {}",
+                total_active,
+                report.active_time.as_secs_f64()
+            );
+
+            // Windows tile the run exactly.
+            let covered: f64 = samples.iter().map(|s| s.window.as_secs_f64()).sum();
+            prop_assert!((covered - report.duration.as_secs_f64()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! P-states, DVFS and the race-to-idle analysis (§II of the paper).
+//!
+//! The paper's background section grounds its wakeup-minimisation
+//! strategy in three facts:
+//!
+//! 1. Dynamic power follows `P_d = C · V² · f` — lower frequency (with
+//!    its lower stable voltage) cuts power superlinearly but stretches
+//!    execution time.
+//! 2. **Race-to-idle**: because idle power is far below active power at
+//!    *any* frequency, finishing fast and sleeping deep often beats
+//!    running slow ("it is more power efficient to execute the task at
+//!    hand faster … and then go to idle mode").
+//! 3. Race-to-idle "cannot be used as a standalone strategy" — each
+//!    wakeup costs energy, so the *number* of wakeups must be minimised
+//!    too (the paper's Fig. 1, and the whole point of PBPL).
+//!
+//! This module makes those trade-offs computable: a [`PState`] table, an
+//! energy comparator for running a work quantum at each state, and the
+//! Fig. 1 grouped-versus-fragmented idle comparison.
+
+use crate::cstate::CStateLadder;
+use pc_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One frequency/voltage operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Name (`"P0"` is highest performance).
+    pub name: String,
+    /// Clock frequency, Hz.
+    pub freq_hz: f64,
+    /// Supply voltage at this frequency, volts.
+    pub voltage: f64,
+}
+
+/// A DVFS-capable core model: a set of P-states plus the effective
+/// switched capacitance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    states: Vec<PState>,
+    /// Effective switched capacitance per cycle, farads.
+    capacitance: f64,
+    /// Frequency-independent leakage/uncore power, watts.
+    static_power_w: f64,
+}
+
+impl PStateTable {
+    /// Builds a table; states must be ordered fastest first with
+    /// non-increasing frequency and voltage.
+    pub fn new(states: Vec<PState>, capacitance: f64, static_power_w: f64) -> Self {
+        assert!(!states.is_empty(), "need at least one P-state");
+        for s in &states {
+            assert!(s.freq_hz > 0.0 && s.voltage > 0.0, "P-state must be positive");
+        }
+        for w in states.windows(2) {
+            assert!(
+                w[1].freq_hz <= w[0].freq_hz && w[1].voltage <= w[0].voltage,
+                "P-states must be ordered fastest/highest-voltage first"
+            );
+        }
+        PStateTable {
+            states,
+            capacitance,
+            static_power_w,
+        }
+    }
+
+    /// A Cortex-A15-class table (1.6 GHz @ 1.1 V down to 600 MHz @
+    /// 0.85 V) calibrated so P0 active power ≈ the 1.6 W used by
+    /// [`crate::PowerModel::exynos_like`].
+    pub fn cortex_a15_like() -> Self {
+        PStateTable::new(
+            vec![
+                PState { name: "P0".into(), freq_hz: 1.6e9, voltage: 1.10 },
+                PState { name: "P1".into(), freq_hz: 1.2e9, voltage: 1.00 },
+                PState { name: "P2".into(), freq_hz: 0.9e9, voltage: 0.92 },
+                PState { name: "P3".into(), freq_hz: 0.6e9, voltage: 0.85 },
+            ],
+            7.0e-10,
+            0.25,
+        )
+    }
+
+    /// The P-states, fastest first.
+    pub fn states(&self) -> &[PState] {
+        &self.states
+    }
+
+    /// Eq. from §II: dynamic power `P_d = C·V²·f` plus static power, at
+    /// state `idx`.
+    pub fn active_power_w(&self, idx: usize) -> f64 {
+        let s = &self.states[idx];
+        self.capacitance * s.voltage * s.voltage * s.freq_hz + self.static_power_w
+    }
+
+    /// Time to execute `cycles` of work at state `idx`.
+    pub fn exec_time(&self, idx: usize, cycles: f64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles / self.states[idx].freq_hz)
+    }
+
+    /// Energy to execute `cycles` of work at state `idx` and then idle
+    /// for the remainder of a `window`, with the idle state chosen by
+    /// residency from `ladder`. Returns `None` if the work does not fit
+    /// in the window at this state.
+    pub fn window_energy_j(
+        &self,
+        idx: usize,
+        cycles: f64,
+        window: SimDuration,
+        ladder: &CStateLadder,
+    ) -> Option<f64> {
+        let busy = self.exec_time(idx, cycles);
+        if busy > window {
+            return None;
+        }
+        let idle = window - busy;
+        let active_e = busy.as_secs_f64() * self.active_power_w(idx);
+        let cidx = ladder.deepest_fitting(idle);
+        let idle_e = ladder.idle_energy(cidx, idle, self.active_power_w(idx));
+        Some(active_e + idle_e)
+    }
+
+    /// The race-to-idle question (§II): which P-state minimises the
+    /// energy of `cycles` of work per `window`? Returns the state index
+    /// and its energy.
+    pub fn best_state(
+        &self,
+        cycles: f64,
+        window: SimDuration,
+        ladder: &CStateLadder,
+    ) -> Option<(usize, f64)> {
+        (0..self.states.len())
+            .filter_map(|i| self.window_energy_j(i, cycles, window, ladder).map(|e| (i, e)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// The paper's Figure 1 in numbers: energy of executing `n_batches`
+/// work quanta of `cycles` each within `window`, either *fragmented*
+/// (each quantum wakes the core separately, idling in between) or
+/// *grouped* (one wakeup, all quanta back to back, one long idle).
+/// Returns `(fragmented_j, grouped_j)`.
+pub fn fig1_grouping_comparison(
+    table: &PStateTable,
+    ladder: &CStateLadder,
+    n_batches: u64,
+    cycles: f64,
+    window: SimDuration,
+    wakeup_energy_j: f64,
+) -> (f64, f64) {
+    assert!(n_batches > 0, "need at least one batch");
+    let sub_window = window / n_batches;
+    let busy = table.exec_time(0, cycles);
+    assert!(busy * n_batches <= window, "work must fit the window");
+
+    // Fragmented: n wakeups, n short idles.
+    let per = table
+        .window_energy_j(0, cycles, sub_window, ladder)
+        .expect("fits by assertion");
+    let fragmented = n_batches as f64 * (per + wakeup_energy_j);
+
+    // Grouped: one wakeup, one long idle.
+    let grouped = table
+        .window_energy_j(0, cycles * n_batches as f64, window, ladder)
+        .expect("fits by assertion")
+        + wakeup_energy_j;
+    (fragmented, grouped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PStateTable {
+        PStateTable::cortex_a15_like()
+    }
+
+    fn ladder() -> CStateLadder {
+        CStateLadder::exynos_like()
+    }
+
+    #[test]
+    fn p0_matches_exynos_calibration() {
+        let p0 = table().active_power_w(0);
+        assert!((p0 - 1.6).abs() < 0.1, "P0 power {p0}");
+    }
+
+    #[test]
+    fn lower_pstates_draw_less_but_run_longer() {
+        let t = table();
+        for w in (0..t.states().len()).collect::<Vec<_>>().windows(2) {
+            assert!(t.active_power_w(w[1]) < t.active_power_w(w[0]));
+            assert!(t.exec_time(w[1], 1e9) > t.exec_time(w[0], 1e9));
+        }
+    }
+
+    #[test]
+    fn race_to_idle_wins_when_static_power_dominates() {
+        // §II's premise holds when frequency-independent power (uncore,
+        // leakage) dominates: every extra active millisecond burns
+        // static watts, so finish fast and let the deep C-state take
+        // over. This regime is why "hardware manufacturers are moving
+        // towards approaches that increase CPU residency in deeper
+        // C-states".
+        let states = table().states().to_vec();
+        let static_heavy = PStateTable::new(states, 3.0e-10, 1.0);
+        let (best, _) = static_heavy
+            .best_state(8e6, SimDuration::from_millis(50), &ladder())
+            .expect("fits");
+        assert_eq!(best, 0, "race-to-idle should pick P0");
+    }
+
+    #[test]
+    fn dvfs_wins_when_voltage_scaling_dominates() {
+        // The counter-regime the paper's §II also names (DVFS "controls
+        // power consumption" via P = C·V²·f): with strong voltage
+        // scaling and little static power, running slower-but-lower-V
+        // beats racing to idle. Race-to-idle "cannot be used as a
+        // standalone strategy".
+        let (best, _) = table()
+            .best_state(8e6, SimDuration::from_millis(50), &ladder())
+            .expect("fits");
+        assert!(best > 0, "V² savings should beat racing here, got P{best}");
+    }
+
+    #[test]
+    fn tight_window_prefers_low_voltage_state() {
+        // Almost no slack: the idle opportunity is too short for deep
+        // C-states to pay, so a low-voltage state wins.
+        let t = table();
+        let cycles = 0.55e9;
+        let window = t.exec_time(3, cycles); // exactly fits the slowest state
+        let (best, _) = t.best_state(cycles, window, &ladder()).expect("fits");
+        assert!(best >= 2, "low-voltage state must win, got P{best}");
+    }
+
+    #[test]
+    fn infeasible_state_is_skipped() {
+        let t = table();
+        // Window fits only the two fastest states.
+        let cycles = 1.0e9;
+        let window = t.exec_time(1, cycles);
+        assert!(t.window_energy_j(3, cycles, window, &ladder()).is_none());
+        let (best, _) = t.best_state(cycles, window, &ladder()).expect("P0/P1 fit");
+        assert!(best <= 1);
+    }
+
+    #[test]
+    fn fig1_grouping_saves_energy() {
+        // The paper's Figure 1: grouped peaks beat fragmented peaks.
+        let (fragmented, grouped) = fig1_grouping_comparison(
+            &table(),
+            &ladder(),
+            8,
+            2e6,
+            SimDuration::from_millis(20),
+            120e-6,
+        );
+        assert!(
+            grouped < fragmented,
+            "grouped {grouped} must beat fragmented {fragmented}"
+        );
+        // The saving includes 7 avoided wakeups.
+        assert!(fragmented - grouped > 7.0 * 120e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_states_rejected() {
+        PStateTable::new(
+            vec![
+                PState { name: "a".into(), freq_hz: 1e9, voltage: 1.0 },
+                PState { name: "b".into(), freq_hz: 2e9, voltage: 1.1 },
+            ],
+            1e-9,
+            0.1,
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! The PBPL elastic buffer and its shared global pool (§V-C).
+//!
+//! The paper pre-allocates a *global buffer* of size `B_g = B₀ × M` and
+//! carves it into `M` per-consumer buffers whose walls are "elastic":
+//!
+//! * **Downsizing** — after reserving a slot, a consumer shrinks its
+//!   buffer to just fit the items predicted to arrive before that slot
+//!   (`Bᵢ = r̂ · (τ_next − τ_now)`), returning the excess to the pool.
+//! * **Upsizing** — a consumer facing a production rate too high for any
+//!   acceptable slot grows its buffer by whatever the pool can spare
+//!   (`Bᵢ = min(B_g − ΣB_q, r̂ · (τ_next − τ_now))`).
+//!
+//! The paper notes the mechanism "is implemented using linked lists and
+//! is, hence, not actual contiguous resizing". We honour that: an
+//! [`ElasticBuffer`] is a FIFO over a chain of fixed-size segments, so
+//! capacity changes never move items, and the accounting-level capacity
+//! (in *items*) is what is borrowed from and returned to the
+//! [`GlobalPool`].
+//!
+//! The pool uses a single atomic counter so it can be shared both by the
+//! single-threaded simulator and by native threads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Items per segment of an [`ElasticBuffer`]. Chosen so that a typical
+/// paper-scale buffer (25–100 items) spans a handful of segments.
+const SEGMENT_CAP: usize = 16;
+
+/// The pre-allocated global capacity pool shared by all consumers on a
+/// system (`B_g` in the paper).
+#[derive(Debug)]
+pub struct GlobalPool {
+    total: usize,
+    available: AtomicUsize,
+}
+
+impl GlobalPool {
+    /// Creates a pool of `total` capacity units (items).
+    pub fn new(total: usize) -> Arc<Self> {
+        Arc::new(GlobalPool {
+            total,
+            available: AtomicUsize::new(total),
+        })
+    }
+
+    /// Reserves up to `want` units, returning how many were granted
+    /// (possibly zero). Never over-grants.
+    pub fn try_reserve(&self, want: usize) -> usize {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            let grant = cur.min(want);
+            if grant == 0 {
+                return 0;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return grant,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reserves exactly `want` units or nothing. Returns whether the
+    /// reservation succeeded.
+    pub fn try_reserve_exact(&self, want: usize) -> bool {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            if cur < want {
+                return false;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - want,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Returns `units` to the pool.
+    ///
+    /// Panics if this would exceed the pool's total — that is always a
+    /// double-release bug.
+    pub fn release(&self, units: usize) {
+        let prev = self.available.fetch_add(units, Ordering::AcqRel);
+        assert!(
+            prev + units <= self.total,
+            "pool over-release: {} + {units} > total {}",
+            prev,
+            self.total
+        );
+    }
+
+    /// Units currently unreserved.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// The pool's fixed total (`B_g`).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Error returned by [`ElasticBuffer::push`] when the buffer is at its
+/// current capacity — the paper's *buffer overflow* condition, which
+/// forces an unscheduled consumer wakeup.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Overflow<T>(pub T);
+
+/// A FIFO buffer of elastic capacity, backed by segments so that resizing
+/// never relocates items, with capacity units accounted against a
+/// [`GlobalPool`].
+///
+/// The initial capacity `B₀` is a *fair share*, not a floor: the paper's
+/// downsizing explicitly shrinks a buffer below its initial allocation so
+/// that "the unused space in the buffer is granted to consumers suffering
+/// from a high production rate" (§VI-C reports a mean allocation of 43
+/// against B₀ = 50). The hard floor is `min_capacity` (default 1) plus
+/// current occupancy.
+/// ```
+/// use pc_queues::{ElasticBuffer, GlobalPool};
+/// use std::sync::Arc;
+///
+/// // The paper's setup: B_g = B0 * M with zero slack.
+/// let pool = GlobalPool::new(50);
+/// let mut slow = ElasticBuffer::<u32>::new(Arc::clone(&pool), 25).unwrap();
+/// let mut fast = ElasticBuffer::<u32>::new(Arc::clone(&pool), 25).unwrap();
+/// slow.shrink_to(10);                   // donate unused capacity
+/// assert_eq!(fast.grow_to(40), 40);     // the burster borrows it
+/// assert_eq!(pool.available(), 0);
+/// ```
+#[derive(Debug)]
+pub struct ElasticBuffer<T> {
+    pool: Arc<GlobalPool>,
+    /// Initial fair-share capacity (`B₀`); informational after creation.
+    initial: usize,
+    /// Hard lower bound on capacity.
+    min_cap: usize,
+    /// Current capacity in items, all accounted against the pool.
+    cap: usize,
+    len: usize,
+    segments: VecDeque<VecDeque<T>>,
+}
+
+impl<T> ElasticBuffer<T> {
+    /// Creates a buffer with initial capacity `initial` (reserved from
+    /// `pool`) and a minimum capacity of 1.
+    ///
+    /// Returns `None` if the pool cannot cover the initial reservation —
+    /// construction is the only operation that demands exact units.
+    pub fn new(pool: Arc<GlobalPool>, initial: usize) -> Option<Self> {
+        Self::with_min(pool, initial, 1)
+    }
+
+    /// Creates a buffer whose capacity never drops below `min_capacity`.
+    pub fn with_min(pool: Arc<GlobalPool>, initial: usize, min_capacity: usize) -> Option<Self> {
+        assert!(initial > 0, "elastic buffer initial capacity must be nonzero");
+        assert!(
+            min_capacity >= 1 && min_capacity <= initial,
+            "min capacity must be in 1..=initial"
+        );
+        if !pool.try_reserve_exact(initial) {
+            return None;
+        }
+        Some(ElasticBuffer {
+            pool,
+            initial,
+            min_cap: min_capacity,
+            cap: initial,
+            len: 0,
+            segments: VecDeque::new(),
+        })
+    }
+
+    /// Current capacity in items (`Bᵢ`).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The initial fair-share capacity (`B₀`).
+    pub fn base_capacity(&self) -> usize {
+        self.initial
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer is at capacity (the next push overflows).
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity()
+    }
+
+    /// Pushes an item; reports [`Overflow`] at capacity.
+    pub fn push(&mut self, value: T) -> Result<(), Overflow<T>> {
+        if self.is_full() {
+            return Err(Overflow(value));
+        }
+        let need_new_segment = self
+            .segments
+            .back()
+            .map(|s| s.len() >= SEGMENT_CAP)
+            .unwrap_or(true);
+        if need_new_segment {
+            self.segments.push_back(VecDeque::with_capacity(SEGMENT_CAP));
+        }
+        self.segments
+            .back_mut()
+            .expect("just ensured a segment exists")
+            .push_back(value);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Pops the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let front = self.segments.front_mut()?;
+        let value = front.pop_front()?;
+        if front.is_empty() {
+            self.segments.pop_front();
+        }
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Drains all items into `out` in FIFO order; returns the count.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
+        let mut n = 0;
+        for mut seg in self.segments.drain(..) {
+            n += seg.len();
+            out.extend(seg.drain(..));
+        }
+        self.len = 0;
+        n
+    }
+
+    /// Requests growth to `target` total capacity, borrowing from the
+    /// pool. Grants whatever the pool can spare (the paper's upsizing is
+    /// explicitly best-effort: `min(B_g − ΣB_q, …)`). Returns the new
+    /// capacity.
+    pub fn grow_to(&mut self, target: usize) -> usize {
+        if target > self.cap {
+            let granted = self.pool.try_reserve(target - self.cap);
+            self.cap += granted;
+        }
+        self.cap
+    }
+
+    /// Shrinks toward `target` capacity, returning freed units to the
+    /// pool. Capacity never drops below `min_capacity` nor below the
+    /// current occupancy. Returns the new capacity.
+    pub fn shrink_to(&mut self, target: usize) -> usize {
+        let floor = self.min_cap.max(self.len).max(target);
+        if self.cap > floor {
+            let freed = self.cap - floor;
+            self.cap = floor;
+            self.pool.release(freed);
+        }
+        self.cap
+    }
+
+    /// Shrinks or grows toward exactly `target` (clamped to base/len
+    /// floors and pool availability). Returns the new capacity.
+    pub fn resize_to(&mut self, target: usize) -> usize {
+        let current = self.capacity();
+        if target > current {
+            self.grow_to(target)
+        } else {
+            self.shrink_to(target)
+        }
+    }
+
+    /// Handle to the pool this buffer draws from.
+    pub fn pool(&self) -> &Arc<GlobalPool> {
+        &self.pool
+    }
+}
+
+impl<T> Drop for ElasticBuffer<T> {
+    fn drop(&mut self) {
+        self.pool.release(self.cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_and_buffer(total: usize, base: usize) -> (Arc<GlobalPool>, ElasticBuffer<u64>) {
+        let pool = GlobalPool::new(total);
+        let buf = ElasticBuffer::new(Arc::clone(&pool), base).expect("base fits");
+        (pool, buf)
+    }
+
+    #[test]
+    fn pool_reserve_release_roundtrip() {
+        let pool = GlobalPool::new(100);
+        assert_eq!(pool.try_reserve(30), 30);
+        assert_eq!(pool.available(), 70);
+        assert_eq!(pool.try_reserve(100), 70, "partial grant");
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.try_reserve(1), 0);
+        pool.release(100);
+        assert_eq!(pool.available(), 100);
+    }
+
+    #[test]
+    fn pool_exact_reservation() {
+        let pool = GlobalPool::new(10);
+        assert!(pool.try_reserve_exact(10));
+        assert!(!pool.try_reserve_exact(1));
+        pool.release(10);
+        assert!(pool.try_reserve_exact(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn pool_over_release_panics() {
+        let pool = GlobalPool::new(5);
+        pool.release(1);
+    }
+
+    #[test]
+    fn buffer_construction_reserves_base() {
+        let (pool, buf) = pool_and_buffer(50, 25);
+        assert_eq!(buf.capacity(), 25);
+        assert_eq!(pool.available(), 25);
+    }
+
+    #[test]
+    fn buffer_construction_fails_without_units() {
+        let pool = GlobalPool::new(10);
+        assert!(ElasticBuffer::<u8>::new(Arc::clone(&pool), 25).is_none());
+        assert_eq!(pool.available(), 10, "failed construction must not leak");
+    }
+
+    #[test]
+    fn fifo_across_segments() {
+        let (_pool, mut buf) = pool_and_buffer(200, 100);
+        for i in 0..100u64 {
+            buf.push(i).unwrap();
+        }
+        assert!(buf.is_full());
+        for i in 0..100u64 {
+            assert_eq!(buf.pop(), Some(i));
+        }
+        assert!(buf.is_empty());
+        assert_eq!(buf.pop(), None);
+    }
+
+    #[test]
+    fn overflow_at_capacity() {
+        let (_pool, mut buf) = pool_and_buffer(10, 2);
+        buf.push(1).unwrap();
+        buf.push(2).unwrap();
+        assert_eq!(buf.push(3), Err(Overflow(3)));
+    }
+
+    #[test]
+    fn grow_converts_overflow_into_space() {
+        let (pool, mut buf) = pool_and_buffer(50, 2);
+        buf.push(1).unwrap();
+        buf.push(2).unwrap();
+        assert!(buf.push(3).is_err());
+        assert_eq!(buf.grow_to(5), 5);
+        buf.push(3).unwrap();
+        assert_eq!(pool.available(), 45);
+    }
+
+    #[test]
+    fn grow_is_best_effort() {
+        let (pool, mut buf) = pool_and_buffer(30, 25);
+        // Only 5 spare units exist.
+        assert_eq!(buf.grow_to(100), 30);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn shrink_returns_units_and_respects_floors() {
+        let (pool, mut buf) = pool_and_buffer(100, 25);
+        buf.grow_to(60);
+        assert_eq!(pool.available(), 40);
+        for i in 0..30u64 {
+            buf.push(i).unwrap();
+        }
+        // Occupancy floor: cannot shrink below 30 items.
+        assert_eq!(buf.shrink_to(10), 30);
+        assert_eq!(pool.available(), 70);
+        // Drain, then only the min-capacity floor applies — B0 is a fair
+        // share, not a floor (the paper's downsizing goes below it).
+        let mut out = Vec::new();
+        buf.drain_into(&mut out);
+        assert_eq!(buf.shrink_to(0), 1);
+        assert_eq!(pool.available(), 99);
+    }
+
+    #[test]
+    fn explicit_min_capacity_floor() {
+        let pool = GlobalPool::new(100);
+        let mut buf = ElasticBuffer::<u8>::with_min(Arc::clone(&pool), 25, 10).unwrap();
+        assert_eq!(buf.shrink_to(0), 10);
+        assert_eq!(pool.available(), 90);
+    }
+
+    #[test]
+    fn resize_to_dispatches() {
+        let (_pool, mut buf) = pool_and_buffer(100, 25);
+        assert_eq!(buf.resize_to(40), 40);
+        assert_eq!(buf.resize_to(30), 30);
+        assert_eq!(buf.resize_to(10), 10);
+        assert_eq!(buf.base_capacity(), 25, "B0 stays informational");
+    }
+
+    #[test]
+    fn drop_releases_everything() {
+        let pool = GlobalPool::new(100);
+        {
+            let mut buf = ElasticBuffer::<u8>::new(Arc::clone(&pool), 25).unwrap();
+            buf.grow_to(70);
+            assert_eq!(pool.available(), 30);
+        }
+        assert_eq!(pool.available(), 100);
+    }
+
+    #[test]
+    fn drain_into_preserves_order() {
+        let (_pool, mut buf) = pool_and_buffer(100, 50);
+        for i in 0..40u64 {
+            buf.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(buf.drain_into(&mut out), 40);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn two_buffers_share_one_pool() {
+        // The paper's exact scenario with B_g = B0·M and zero slack:
+        // a slow consumer downsizes below its fair share and a fast one
+        // borrows the freed units ("the walls … are elastic").
+        let pool = GlobalPool::new(50);
+        let mut a = ElasticBuffer::<u8>::new(Arc::clone(&pool), 25).unwrap();
+        let mut b = ElasticBuffer::<u8>::new(Arc::clone(&pool), 25).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert_eq!(b.grow_to(40), 25, "nothing to borrow yet");
+        a.shrink_to(5);
+        assert_eq!(pool.available(), 20);
+        assert_eq!(b.grow_to(40), 40);
+        assert_eq!(pool.available(), 5);
+        // a can reclaim toward its share as far as the pool allows.
+        assert_eq!(a.grow_to(25), 10);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.available(), 50);
+    }
+
+    #[test]
+    fn conservation_invariant_under_churn() {
+        let pool = GlobalPool::new(120);
+        let mut bufs: Vec<ElasticBuffer<u8>> = (0..3)
+            .map(|_| ElasticBuffer::new(Arc::clone(&pool), 20).unwrap())
+            .collect();
+        let mut step = 0usize;
+        for round in 0..200 {
+            for i in 0..bufs.len() {
+                step += 1;
+                let b = &mut bufs[i];
+                match (round + i + step) % 4 {
+                    0 => {
+                        b.grow_to(b.capacity() + 7);
+                    }
+                    1 => {
+                        b.shrink_to(b.capacity().saturating_sub(5));
+                    }
+                    2 => {
+                        let _ = b.push(0);
+                    }
+                    _ => {
+                        b.pop();
+                    }
+                }
+                let held: usize = bufs.iter().map(|b| b.capacity()).sum();
+                assert_eq!(held + pool.available(), 120, "units conserved");
+            }
+        }
+    }
+}

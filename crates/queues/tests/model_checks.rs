@@ -1,0 +1,171 @@
+//! Property-based model checks: each queue is exercised with arbitrary
+//! operation sequences against a `VecDeque` reference model.
+
+use pc_queues::{spsc_ring, ElasticBuffer, GlobalPool, MutexQueue};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Drain,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Drain),
+        ],
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spsc_matches_reference_model(capacity in 1usize..40, script in ops(300)) {
+        let (p, c) = spsc_ring::<u32>(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in script {
+            match op {
+                Op::Push(v) => {
+                    let pushed = p.push(v).is_ok();
+                    let model_pushed = model.len() < capacity;
+                    prop_assert_eq!(pushed, model_pushed, "push acceptance diverged");
+                    if model_pushed {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(c.pop(), model.pop_front());
+                }
+                Op::Drain => {
+                    let mut out = Vec::new();
+                    c.drain_into(&mut out);
+                    let expected: Vec<u32> = model.drain(..).collect();
+                    prop_assert_eq!(out, expected);
+                }
+            }
+            prop_assert_eq!(c.len(), model.len());
+            prop_assert_eq!(p.is_full(), model.len() == capacity);
+        }
+    }
+
+    #[test]
+    fn mutex_queue_matches_reference_model(capacity in 1usize..40, script in ops(300)) {
+        let q = MutexQueue::<u32>::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in script {
+            match op {
+                Op::Push(v) => {
+                    let pushed = q.try_push(v).is_ok();
+                    let model_pushed = model.len() < capacity;
+                    prop_assert_eq!(pushed, model_pushed);
+                    if model_pushed {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.try_pop(), model.pop_front());
+                }
+                Op::Drain => {
+                    let mut out = Vec::new();
+                    q.drain_into(&mut out);
+                    let expected: Vec<u32> = model.drain(..).collect();
+                    prop_assert_eq!(out, expected);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn elastic_buffer_matches_reference_model(
+        base in 1usize..30,
+        script in prop::collection::vec(
+            prop_oneof![
+                (0u32..1000).prop_map(Op::Push),
+                Just(Op::Pop),
+                Just(Op::Drain),
+                // Resizes are injected via the value space below.
+            ],
+            1..200,
+        ),
+        resizes in prop::collection::vec((0usize..60, any::<bool>()), 0..40),
+    ) {
+        let pool = GlobalPool::new(200);
+        let mut buf = ElasticBuffer::<u32>::new(Arc::clone(&pool), base).expect("fits");
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut resize_iter = resizes.into_iter();
+        for (i, op) in script.into_iter().enumerate() {
+            if i % 5 == 4 {
+                if let Some((target, grow)) = resize_iter.next() {
+                    if grow {
+                        buf.grow_to(target);
+                    } else {
+                        buf.shrink_to(target);
+                    }
+                }
+            }
+            match op {
+                Op::Push(v) => {
+                    let had_room = model.len() < buf.capacity();
+                    let pushed = buf.push(v).is_ok();
+                    prop_assert_eq!(pushed, had_room, "push acceptance diverged");
+                    if pushed {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(buf.pop(), model.pop_front());
+                }
+                Op::Drain => {
+                    let mut out = Vec::new();
+                    buf.drain_into(&mut out);
+                    let expected: Vec<u32> = model.drain(..).collect();
+                    prop_assert_eq!(out, expected);
+                }
+            }
+            prop_assert_eq!(buf.len(), model.len());
+            prop_assert!(buf.len() <= buf.capacity());
+            prop_assert_eq!(buf.capacity() + pool.available(), 200);
+        }
+    }
+}
+
+/// Concurrent SPSC linearity: a producer and consumer hammer the ring
+/// with random pacing; the consumer must see exactly 0..n in order.
+#[test]
+fn spsc_concurrent_ordering_many_capacities() {
+    for capacity in [1usize, 7, 25] {
+        let (p, c) = spsc_ring::<u64>(capacity);
+        const N: u64 = 5_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = p.push(v) {
+                    v = back;
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                if let Some(v) = c.pop() {
+                    assert_eq!(v, next, "capacity {capacity}");
+                    next += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+}

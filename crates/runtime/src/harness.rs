@@ -1,0 +1,257 @@
+//! Spawn/collect machinery: run M native pairs under one strategy for a
+//! trace horizon and gather the paper's per-pair metrics.
+
+use crate::clock::ReplayClock;
+use crate::counters::PairStats;
+use crate::manager::NativeCoreManager;
+use crate::strategy::{
+    spawn_bp, spawn_busy, spawn_mutex, spawn_pbpl, spawn_periodic, spawn_sem, PairContext,
+    PairHandle,
+};
+use pc_core::{CostModel, SlotTrack, StrategyKind};
+use pc_power::PowerModel;
+use pc_queues::GlobalPool;
+use pc_sim::{SimDuration, SimTime};
+use pc_trace::WorldCupConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of one native run.
+#[derive(Debug, Clone)]
+pub struct NativeHarness {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Number of producer-consumer pairs.
+    pub pairs: usize,
+    /// Number of virtual cores (PBPL managers); consumers are assigned
+    /// `i mod cores`.
+    pub cores: usize,
+    /// Simulated horizon to replay.
+    pub duration: SimDuration,
+    /// Wall seconds per simulated second (use < 1.0 to fast-forward).
+    pub time_scale: f64,
+    /// Workload configuration (horizon overridden by `duration`).
+    pub trace: WorldCupConfig,
+    /// Base buffer capacity B₀.
+    pub buffer_capacity: usize,
+    /// Seed for trace generation.
+    pub seed: u64,
+}
+
+impl Default for NativeHarness {
+    fn default() -> Self {
+        NativeHarness {
+            strategy: StrategyKind::pbpl_default(),
+            pairs: 2,
+            cores: 2,
+            duration: SimDuration::from_millis(500),
+            time_scale: 1.0,
+            trace: WorldCupConfig::quick_test(),
+            buffer_capacity: 25,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one native run.
+#[derive(Debug, Clone)]
+pub struct NativeRunReport {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Per-pair counter snapshots.
+    pub pairs: Vec<PairStats>,
+    /// PBPL only: slot timer fires per core manager.
+    pub manager_fires: Vec<u64>,
+}
+
+impl NativeRunReport {
+    /// Total items consumed.
+    pub fn items_consumed(&self) -> u64 {
+        self.pairs.iter().map(|p| p.items_consumed).sum()
+    }
+
+    /// Total items produced.
+    pub fn items_produced(&self) -> u64 {
+        self.pairs.iter().map(|p| p.items_produced).sum()
+    }
+
+    /// Total consumer-thread wakeups per wall second (the PowerTop-style
+    /// aggregate).
+    pub fn wakeups_per_sec(&self) -> f64 {
+        let total: u64 = self.pairs.iter().map(|p| p.wakeups).sum();
+        total as f64 / self.wall_secs
+    }
+
+    /// Total consumer busy milliseconds per wall second (usage, ms/s).
+    pub fn usage_ms_per_sec(&self) -> f64 {
+        let busy: f64 = self.pairs.iter().map(|p| p.busy.as_secs_f64()).sum();
+        busy * 1e3 / self.wall_secs
+    }
+
+    /// Mean item latency across pairs (wall time).
+    pub fn mean_latency(&self) -> SimDuration {
+        let total_items: u64 = self.pairs.iter().map(|p| p.items_consumed).sum();
+        if total_items == 0 {
+            return SimDuration::ZERO;
+        }
+        let sum: SimDuration = self.pairs.iter().map(|p| p.latency_sum).sum();
+        sum / total_items
+    }
+}
+
+impl NativeHarness {
+    /// Runs the configured experiment on real threads and blocks until
+    /// all of them have joined.
+    pub fn run(self) -> NativeRunReport {
+        assert!(self.pairs > 0 && self.cores > 0);
+        let horizon = SimTime::ZERO + self.duration;
+        let mut cfg = self.trace.clone();
+        cfg.horizon = horizon;
+        let base = cfg.generate(self.seed.wrapping_add(0x7ace));
+        let clock = ReplayClock::start(self.time_scale);
+        let stop = Arc::new(AtomicBool::new(false));
+        let cost = CostModel::from_power_model(&PowerModel::exynos_like());
+
+        // PBPL substrate: one manager thread per core + the global pool.
+        let (managers, mgr_threads, pool) = if matches!(self.strategy, StrategyKind::Pbpl(_)) {
+            let pbpl = match &self.strategy {
+                StrategyKind::Pbpl(c) => c.clone(),
+                _ => unreachable!(),
+            };
+            let track = SlotTrack::new(pbpl.slot);
+            let managers: Vec<Arc<NativeCoreManager>> = (0..self.cores)
+                .map(|_| NativeCoreManager::new(track, clock))
+                .collect();
+            let threads: Vec<thread::JoinHandle<()>> = managers
+                .iter()
+                .map(|m| {
+                    let m = Arc::clone(m);
+                    thread::spawn(move || m.run())
+                })
+                .collect();
+            let pool = GlobalPool::new(self.buffer_capacity * self.pairs);
+            (managers, threads, Some(pool))
+        } else {
+            (Vec::new(), Vec::new(), None)
+        };
+
+        let started = Instant::now();
+        let handles: Vec<PairHandle> = (0..self.pairs)
+            .map(|i| {
+                let trace = base.phase_shift(i as f64 / self.pairs as f64);
+                let ctx = PairContext {
+                    index: i,
+                    trace,
+                    clock,
+                    stop: Arc::clone(&stop),
+                    capacity: self.buffer_capacity,
+                    manager: managers.get(i % self.cores.max(1)).cloned(),
+                    pool: pool.clone(),
+                    pbpl: match &self.strategy {
+                        StrategyKind::Pbpl(c) => Some(c.clone()),
+                        _ => None,
+                    },
+                    cost,
+                };
+                match &self.strategy {
+                    StrategyKind::BusyWait => spawn_busy(ctx, false),
+                    StrategyKind::Yield => spawn_busy(ctx, true),
+                    StrategyKind::Mutex => spawn_mutex(ctx),
+                    StrategyKind::Sem => spawn_sem(ctx),
+                    StrategyKind::Bp => spawn_bp(ctx),
+                    StrategyKind::Pbp { period } => {
+                        spawn_periodic(ctx, SimTime::ZERO + *period, false)
+                    }
+                    StrategyKind::Spbp { period } => {
+                        spawn_periodic(ctx, SimTime::ZERO + *period, true)
+                    }
+                    StrategyKind::Pbpl(_) => spawn_pbpl(ctx),
+                }
+            })
+            .collect();
+
+        // Let the horizon elapse (plus strategy drain slack), then stop.
+        crate::clock::precise_sleep_until(
+            clock.wall_deadline(horizon + SimDuration::from_millis(20)),
+        );
+        stop.store(true, Ordering::SeqCst);
+        let counters: Vec<_> = handles
+            .iter()
+            .map(|h| Arc::clone(&h.counters))
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let wall_secs = started.elapsed().as_secs_f64();
+        let manager_fires = managers.iter().map(|m| m.slot_fires()).collect();
+        for m in &managers {
+            m.shutdown();
+        }
+        for t in mgr_threads {
+            t.join().expect("manager thread panicked");
+        }
+
+        NativeRunReport {
+            strategy: self.strategy.name().to_string(),
+            wall_secs,
+            pairs: counters.iter().map(|c| c.snapshot()).collect(),
+            manager_fires,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness(strategy: StrategyKind) -> NativeHarness {
+        NativeHarness {
+            strategy,
+            pairs: 2,
+            cores: 2,
+            duration: SimDuration::from_millis(250),
+            ..NativeHarness::default()
+        }
+    }
+
+    #[test]
+    fn mutex_harness_runs_clean() {
+        let r = harness(StrategyKind::Mutex).run();
+        assert!(r.items_produced() > 0);
+        assert_eq!(r.items_produced(), r.items_consumed());
+        assert!(r.wakeups_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn pbpl_harness_runs_clean() {
+        let r = harness(StrategyKind::pbpl_default()).run();
+        assert_eq!(r.items_produced(), r.items_consumed());
+        assert_eq!(r.manager_fires.len(), 2);
+        let scheduled: u64 = r.pairs.iter().map(|p| p.scheduled).sum();
+        assert!(scheduled > 0, "slot wakes expected");
+    }
+
+    #[test]
+    fn bp_wakes_less_than_mutex() {
+        let mutex = harness(StrategyKind::Mutex).run();
+        let bp = harness(StrategyKind::Bp).run();
+        assert!(
+            bp.wakeups_per_sec() < mutex.wakeups_per_sec(),
+            "bp {} vs mutex {}",
+            bp.wakeups_per_sec(),
+            mutex.wakeups_per_sec()
+        );
+    }
+
+    #[test]
+    fn busy_wait_burns_cpu_without_wakeups() {
+        let r = harness(StrategyKind::BusyWait).run();
+        assert!(r.usage_ms_per_sec() > 1500.0, "usage {}", r.usage_ms_per_sec());
+        let wakeups: u64 = r.pairs.iter().map(|p| p.wakeups).sum();
+        assert_eq!(wakeups, 0);
+    }
+}

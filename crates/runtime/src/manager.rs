@@ -1,0 +1,320 @@
+//! The native PBPL core-manager thread (§V-B on real threads).
+//!
+//! One manager thread per (virtual) core owns a [`pc_core::CoreManager`]
+//! reservation book and a single armed deadline: the earliest reserved
+//! slot. Consumers reserve slots through the shared handle; if a new
+//! reservation is earlier than the armed deadline the manager is nudged
+//! through its condvar and re-arms — the same cancel/re-arm dance the
+//! simulator's `ensure_scheduled` performs. At each slot deadline the
+//! manager releases every due consumer's wake semaphore: one timer
+//! expiry, many consumer invocations — group latching in the flesh.
+
+use crate::clock::ReplayClock;
+use parking_lot::{Condvar, Mutex};
+use pc_core::{CoreManager, PairId, SlotTrack};
+use pc_queues::{ElasticBuffer, Semaphore};
+use std::collections::HashMap;
+use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct State {
+    book: CoreManager,
+    wakers: HashMap<usize, Arc<Semaphore>>,
+    /// Consumers' buffers, for the piggyback occupancy check.
+    buffers: HashMap<usize, Arc<Mutex<ElasticBuffer<Instant>>>>,
+}
+
+/// Shared handle to one core's slot-reservation manager.
+pub struct NativeCoreManager {
+    state: Mutex<State>,
+    nudge: Condvar,
+    clock: ReplayClock,
+    stop: AtomicBool,
+    slot_fires: AtomicU64,
+}
+
+impl NativeCoreManager {
+    /// Creates a manager over `track`, pacing slots with `clock`.
+    pub fn new(track: SlotTrack, clock: ReplayClock) -> Arc<Self> {
+        Arc::new(NativeCoreManager {
+            state: Mutex::new(State {
+                book: CoreManager::new(track),
+                wakers: HashMap::new(),
+                buffers: HashMap::new(),
+            }),
+            nudge: Condvar::new(),
+            clock,
+            stop: AtomicBool::new(false),
+            slot_fires: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers the semaphore a consumer waits on.
+    pub fn register(&self, consumer: usize, waker: Arc<Semaphore>) {
+        self.state.lock().wakers.insert(consumer, waker);
+    }
+
+    /// Registers the consumer's buffer so slot fires can piggyback
+    /// neighbours with meaningful batches (§V-A group latching — same
+    /// rule as the simulator: occupancy ≥ capacity/8).
+    pub fn register_buffer(&self, consumer: usize, buffer: Arc<Mutex<ElasticBuffer<Instant>>>) {
+        self.state.lock().buffers.insert(consumer, buffer);
+    }
+
+    /// Reserves `slot` for `consumer`, nudging the manager thread in case
+    /// the new slot is earlier than the armed one.
+    pub fn reserve(&self, slot: u64, consumer: usize) {
+        let mut st = self.state.lock();
+        st.book.reserve(slot, PairId(consumer));
+        drop(st);
+        self.nudge.notify_one();
+    }
+
+    /// Runs a read-only query against the reservation book (used by the
+    /// consumer's slot selection).
+    pub fn with_book<R>(&self, f: impl FnOnce(&CoreManager) -> R) -> R {
+        f(&self.state.lock().book)
+    }
+
+    /// Number of slot deadlines that actually fired.
+    pub fn slot_fires(&self) -> u64 {
+        self.slot_fires.load(Ordering::Relaxed)
+    }
+
+    /// Signals the manager thread to exit after waking all waiters.
+    pub fn shutdown(&self) {
+        // Take the state lock before notifying: otherwise the notify can
+        // land in the gap between the run loop's stop-check and its
+        // condvar wait, leaving the manager blocked until its armed slot
+        // deadline (arbitrarily far away) instead of exiting promptly.
+        let mut guard = self.state.lock();
+        self.stop.store(true, Ordering::SeqCst);
+        // Release buffer handles so the consumers' elastic buffers drop
+        // (and return their pool units) once the pair handles go away.
+        guard.buffers.clear();
+        drop(guard);
+        self.nudge.notify_all();
+    }
+
+    /// The manager thread body: arm the earliest reserved slot, wait, and
+    /// dispatch. Returns when [`NativeCoreManager::shutdown`] is called.
+    pub fn run(self: &Arc<Self>) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut st = self.state.lock();
+            match st.book.first_reserved() {
+                None => {
+                    // Nothing reserved: doze until a reservation arrives.
+                    self.nudge
+                        .wait_for(&mut st, Duration::from_millis(20));
+                }
+                Some(slot) => {
+                    let deadline = self
+                        .clock
+                        .wall_deadline(st.book.track().slot_start(slot));
+                    let timed_out = self
+                        .nudge
+                        .wait_until(&mut st, deadline)
+                        .timed_out();
+                    if !timed_out {
+                        // Nudged: a new (possibly earlier) reservation or
+                        // shutdown; re-evaluate.
+                        continue;
+                    }
+                    let due = st.book.take_due(slot);
+                    let mut wakers: Vec<Arc<Semaphore>> = due
+                        .iter()
+                        .filter_map(|c| st.wakers.get(&c.0).cloned())
+                        .collect();
+                    if !wakers.is_empty() {
+                        // The core is awake anyway: piggyback neighbours
+                        // whose batches are worth a dispatch.
+                        for (&other, buffer) in st.buffers.iter() {
+                            if due.iter().any(|c| c.0 == other) {
+                                continue;
+                            }
+                            let worth = buffer
+                                .try_lock()
+                                .map(|b| b.len() * 8 >= b.capacity() && !b.is_empty())
+                                .unwrap_or(false);
+                            if worth {
+                                if let Some(w) = st.wakers.get(&other) {
+                                    wakers.push(Arc::clone(w));
+                                }
+                            }
+                        }
+                    }
+                    drop(st);
+                    if !wakers.is_empty() {
+                        self.slot_fires.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for w in wakers {
+                        w.release(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_sim::SimDuration;
+    use std::thread;
+    use std::time::Instant;
+
+    fn track_ms(delta: u64) -> SlotTrack {
+        SlotTrack::new(SimDuration::from_millis(delta))
+    }
+
+    #[test]
+    fn fires_reserved_slot_and_wakes_consumer() {
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(10), clock);
+        let sem = Arc::new(Semaphore::new(0));
+        mgr.register(0, Arc::clone(&sem));
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        // Reserve slot 2 (t = 20ms).
+        mgr.reserve(2, 0);
+        let got = sem.acquire_timeout(Duration::from_millis(500));
+        assert!(got.is_some(), "consumer must be woken at its slot");
+        assert_eq!(mgr.slot_fires(), 1);
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn earlier_reservation_preempts_armed_slot() {
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(10), clock);
+        let far = Arc::new(Semaphore::new(0));
+        let near = Arc::new(Semaphore::new(0));
+        mgr.register(0, Arc::clone(&far));
+        mgr.register(1, Arc::clone(&near));
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        mgr.reserve(30, 0); // t = 300ms
+        thread::sleep(Duration::from_millis(5));
+        mgr.reserve(3, 1); // t = 30ms — earlier, must preempt
+        let t0 = Instant::now();
+        assert!(near.acquire_timeout(Duration::from_millis(500)).is_some());
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "near slot must fire promptly, not after the far one"
+        );
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn group_wake_releases_all_due_consumers() {
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(5), clock);
+        let sems: Vec<Arc<Semaphore>> = (0..3).map(|_| Arc::new(Semaphore::new(0))).collect();
+        for (i, s) in sems.iter().enumerate() {
+            mgr.register(i, Arc::clone(s));
+        }
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        for i in 0..3 {
+            mgr.reserve(4, i); // all latch slot 4 (t = 20ms)
+        }
+        for s in &sems {
+            assert!(s.acquire_timeout(Duration::from_millis(500)).is_some());
+        }
+        assert_eq!(mgr.slot_fires(), 1, "one timer fire served all three");
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn slot_fire_piggybacks_fullish_neighbour() {
+        use pc_queues::GlobalPool;
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(10), clock);
+        let due_sem = Arc::new(Semaphore::new(0));
+        let neighbour_sem = Arc::new(Semaphore::new(0));
+        mgr.register(0, Arc::clone(&due_sem));
+        mgr.register(1, Arc::clone(&neighbour_sem));
+        // Neighbour 1 has a half-full buffer but its own reservation is
+        // far away; the fire for consumer 0 must carry it along.
+        let pool = GlobalPool::new(50);
+        let buffer = Arc::new(Mutex::new(
+            ElasticBuffer::<Instant>::new(Arc::clone(&pool), 25).unwrap(),
+        ));
+        for _ in 0..12 {
+            buffer.lock().push(Instant::now()).unwrap();
+        }
+        mgr.register_buffer(1, Arc::clone(&buffer));
+        mgr.reserve(2, 0); // fires at 20ms
+        mgr.reserve(1000, 1); // far future
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        assert!(due_sem.acquire_timeout(Duration::from_millis(500)).is_some());
+        assert!(
+            neighbour_sem
+                .acquire_timeout(Duration::from_millis(100))
+                .is_some(),
+            "fullish neighbour must be piggybacked on the same fire"
+        );
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn empty_neighbour_is_not_piggybacked() {
+        use pc_queues::GlobalPool;
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(10), clock);
+        let due_sem = Arc::new(Semaphore::new(0));
+        let neighbour_sem = Arc::new(Semaphore::new(0));
+        mgr.register(0, Arc::clone(&due_sem));
+        mgr.register(1, Arc::clone(&neighbour_sem));
+        let pool = GlobalPool::new(50);
+        let buffer = Arc::new(Mutex::new(
+            ElasticBuffer::<Instant>::new(Arc::clone(&pool), 25).unwrap(),
+        ));
+        mgr.register_buffer(1, Arc::clone(&buffer));
+        mgr.reserve(2, 0);
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        assert!(due_sem.acquire_timeout(Duration::from_millis(500)).is_some());
+        assert!(
+            neighbour_sem
+                .acquire_timeout(Duration::from_millis(50))
+                .is_none(),
+            "an empty buffer is not worth a dispatch"
+        );
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_terminates_idle_manager() {
+        let clock = ReplayClock::start(1.0);
+        let mgr = NativeCoreManager::new(track_ms(10), clock);
+        let runner = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || mgr.run())
+        };
+        thread::sleep(Duration::from_millis(10));
+        mgr.shutdown();
+        runner.join().unwrap();
+    }
+}

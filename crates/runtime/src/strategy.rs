@@ -1,0 +1,746 @@
+//! The eight §III/§V consumer strategies on real OS threads.
+//!
+//! Each pair gets a producer thread that replays its trace against a
+//! [`ReplayClock`] and a consumer thread implementing the strategy; PBPL
+//! pairs additionally share a per-core [`NativeCoreManager`] thread and a
+//! [`GlobalPool`]. Wakeups are counted at the blocking primitives (each
+//! reported "this call blocked" is one thread sleep/wake cycle — the
+//! PowerTop unit), usage via [`PairCounters::busy_timer`].
+
+use crate::clock::ReplayClock;
+use crate::counters::PairCounters;
+use crate::manager::NativeCoreManager;
+use parking_lot::{Condvar, Mutex};
+use pc_core::resize::{plan_resize, predicted_fill, ResizePlan};
+use pc_core::{select_slot, CostModel, PairId, PbplConfig, RatePredictor};
+use pc_queues::elastic::Overflow;
+use pc_queues::semqueue::SemQueueConsumer;
+use pc_queues::{spsc_ring, ElasticBuffer, GlobalPool, MutexQueue, Semaphore, SemQueue};
+use pc_sim::SimTime;
+use pc_trace::Trace;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long blocking consumers wait before re-checking the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(20);
+
+/// Handle to one running pair (producer + consumer threads).
+pub struct PairHandle {
+    /// Shared counters for this pair.
+    pub counters: Arc<PairCounters>,
+    threads: Vec<JoinHandle<()>>,
+    /// Wake hook used at shutdown (strategy-specific).
+    waker: Option<Arc<Semaphore>>,
+}
+
+impl PairHandle {
+    /// Joins the pair's threads (call after raising the stop flag).
+    pub fn join(mut self) {
+        if let Some(w) = self.waker.take() {
+            w.release(1);
+        }
+        for t in self.threads.drain(..) {
+            t.join().expect("strategy thread panicked");
+        }
+    }
+}
+
+/// Everything shared a pair needs at spawn time.
+pub struct PairContext {
+    /// Index of this pair.
+    pub index: usize,
+    /// The production timestamps to replay.
+    pub trace: Trace,
+    /// Replay pacing.
+    pub clock: ReplayClock,
+    /// Cooperative stop flag (set after the horizon elapses).
+    pub stop: Arc<AtomicBool>,
+    /// Base buffer capacity B₀.
+    pub capacity: usize,
+    /// PBPL only: this pair's core manager.
+    pub manager: Option<Arc<NativeCoreManager>>,
+    /// PBPL only: the shared global pool.
+    pub pool: Option<Arc<GlobalPool>>,
+    /// PBPL only: algorithm parameters.
+    pub pbpl: Option<PbplConfig>,
+    /// PBPL only: cost constants for ρ.
+    pub cost: CostModel,
+}
+
+fn spawn_producer<F>(
+    trace: Trace,
+    clock: ReplayClock,
+    stop: Arc<AtomicBool>,
+    counters: Arc<PairCounters>,
+    mut push: F,
+) -> JoinHandle<()>
+where
+    F: FnMut(Instant) + Send + 'static,
+{
+    thread::spawn(move || {
+        for &t in trace.times() {
+            if !clock.sleep_until_sim_or_stop(t, &stop, Duration::from_millis(20)) {
+                break;
+            }
+            push(Instant::now());
+            counters.add_produced(1);
+        }
+    })
+}
+
+/// Spawns the busy-wait (BW) or yielding (Yield) pair.
+pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
+    let counters = Arc::new(PairCounters::new());
+    // The ring here is plumbing, not the strategy's measured buffer: a
+    // spinning consumer drains instantly, so the §III BW/Yield semantics
+    // don't depend on B0. A roomy ring just keeps the producer's replay
+    // timing honest.
+    let (p, c) = spsc_ring::<Instant>(ctx.capacity.max(1024));
+    let stop = Arc::clone(&ctx.stop);
+    let producer = spawn_producer(ctx.trace, ctx.clock, Arc::clone(&stop), Arc::clone(&counters), move |at| {
+        // Spin until space; the consumer spins too, so space appears fast.
+        let mut v = at;
+        while let Err(back) = p.push(v) {
+            v = back;
+            std::hint::spin_loop();
+        }
+    });
+    let ccount = Arc::clone(&counters);
+    let cstop = Arc::clone(&stop);
+    let consumer = thread::spawn(move || {
+        let _busy = ccount.busy_timer(); // busy for its whole life
+        loop {
+            match c.pop() {
+                Some(at) => {
+                    ccount.add_consumed(1);
+                    ccount.add_latency(at, Instant::now());
+                }
+                None => {
+                    if cstop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if yielding {
+                        thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    });
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: None,
+    }
+}
+
+/// The item-at-a-time consumer endpoint: both the Mutex and Sem queues
+/// expose this same blocking surface, so one consumer loop serves both.
+trait ItemEndpoint: Send + 'static {
+    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)>;
+    fn try_pop(&self) -> Option<Instant>;
+    fn is_empty(&self) -> bool;
+}
+
+impl ItemEndpoint for Arc<MutexQueue<Instant>> {
+    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)> {
+        MutexQueue::pop_timeout(self, timeout)
+    }
+    fn try_pop(&self) -> Option<Instant> {
+        MutexQueue::try_pop(self)
+    }
+    fn is_empty(&self) -> bool {
+        MutexQueue::is_empty(self)
+    }
+}
+
+impl ItemEndpoint for SemQueueConsumer<Instant> {
+    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)> {
+        SemQueueConsumer::pop_timeout(self, timeout)
+    }
+    fn try_pop(&self) -> Option<Instant> {
+        SemQueueConsumer::try_pop(self)
+    }
+    fn is_empty(&self) -> bool {
+        SemQueueConsumer::is_empty(self)
+    }
+}
+
+/// The §III item-driven consumer loop: block for the first item of a
+/// session (one thread wakeup), drain the rest without blocking, repeat.
+fn spawn_item_consumer<Q: ItemEndpoint>(
+    queue: Q,
+    counters: Arc<PairCounters>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        match queue.pop_timeout(STOP_POLL) {
+            Some((at, blocked)) => {
+                if blocked {
+                    counters.add_wakeup();
+                    counters.add_invocation(false, false);
+                }
+                let _busy = counters.busy_timer();
+                counters.add_consumed(1);
+                counters.add_latency(at, Instant::now());
+                // Drain the rest of the session without blocking.
+                while let Some(at) = queue.try_pop() {
+                    counters.add_consumed(1);
+                    counters.add_latency(at, Instant::now());
+                }
+            }
+            None => {
+                if stop.load(Ordering::Relaxed) && queue.is_empty() {
+                    break;
+                }
+            }
+        }
+    })
+}
+
+/// Spawns the Mutex strategy pair (bounded queue, condvars, item at a
+/// time).
+pub fn spawn_mutex(ctx: PairContext) -> PairHandle {
+    let counters = Arc::new(PairCounters::new());
+    let q = Arc::new(MutexQueue::<Instant>::new(ctx.capacity));
+    let qp = Arc::clone(&q);
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&ctx.stop),
+        Arc::clone(&counters),
+        move |at| {
+            qp.push(at);
+        },
+    );
+    let consumer = spawn_item_consumer(q, Arc::clone(&counters), Arc::clone(&ctx.stop));
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: None,
+    }
+}
+
+/// Spawns the Sem strategy pair (two semaphores over a circular buffer).
+pub fn spawn_sem(ctx: PairContext) -> PairHandle {
+    let counters = Arc::new(PairCounters::new());
+    let (qp, qc) = SemQueue::<Instant>::new(ctx.capacity);
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&ctx.stop),
+        Arc::clone(&counters),
+        move |at| {
+            qp.push(at);
+        },
+    );
+    let consumer = spawn_item_consumer(qc, Arc::clone(&counters), Arc::clone(&ctx.stop));
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: None,
+    }
+}
+
+/// Shared buffer for the batching strategies: a mutex-guarded vector plus
+/// a condvar the producer signals on "full" (BP) or "overflow"
+/// (PBP/SPBP).
+struct BatchBuffer {
+    items: Mutex<Vec<Instant>>,
+    signal: Condvar,
+    capacity: usize,
+}
+
+impl BatchBuffer {
+    fn new(capacity: usize) -> Self {
+        BatchBuffer {
+            items: Mutex::new(Vec::with_capacity(capacity)),
+            signal: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Pushes and reports whether the buffer is now at capacity.
+    fn push(&self, at: Instant) -> bool {
+        let mut items = self.items.lock();
+        // The producer stalls while the consumer drains an overfull
+        // buffer; with drain latencies in the microseconds this models
+        // the paper's blocked producer without spinning.
+        while items.len() >= self.capacity {
+            drop(items);
+            thread::yield_now();
+            items = self.items.lock();
+        }
+        items.push(at);
+        let full = items.len() >= self.capacity;
+        drop(items);
+        if full {
+            self.signal.notify_one();
+        }
+        full
+    }
+
+    fn drain(&self, out: &mut Vec<Instant>) -> usize {
+        let mut items = self.items.lock();
+        let n = items.len();
+        out.append(&mut items);
+        n
+    }
+}
+
+/// Spawns the BP pair: the consumer wakes only when the buffer fills.
+pub fn spawn_bp(ctx: PairContext) -> PairHandle {
+    let counters = Arc::new(PairCounters::new());
+    let buf = Arc::new(BatchBuffer::new(ctx.capacity));
+    let bp = Arc::clone(&buf);
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&ctx.stop),
+        Arc::clone(&counters),
+        move |at| {
+            bp.push(at);
+        },
+    );
+    let ccount = Arc::clone(&counters);
+    let cstop = Arc::clone(&ctx.stop);
+    let consumer = thread::spawn(move || {
+        let mut batch = Vec::new();
+        loop {
+            {
+                let mut items = buf.items.lock();
+                while items.len() < buf.capacity {
+                    if cstop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    buf.signal.wait_for(&mut items, STOP_POLL);
+                }
+            }
+            ccount.add_wakeup();
+            batch.clear();
+            let n = buf.drain(&mut batch);
+            if n > 0 {
+                ccount.add_invocation(false, true); // every BP wake = overflow
+                let _busy = ccount.busy_timer();
+                let now = Instant::now();
+                for &at in &batch {
+                    ccount.add_consumed(1);
+                    ccount.add_latency(at, now);
+                }
+            }
+            if cstop.load(Ordering::Relaxed) && n == 0 {
+                break;
+            }
+        }
+    });
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: None,
+    }
+}
+
+/// Spawns a periodic batching pair. `precise` selects SPBP (spin-finish
+/// timer) versus PBP (plain OS sleep with its jitter).
+pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairHandle {
+    let counters = Arc::new(PairCounters::new());
+    let buf = Arc::new(BatchBuffer::new(ctx.capacity));
+    let bp = Arc::clone(&buf);
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&ctx.stop),
+        Arc::clone(&counters),
+        move |at| {
+            bp.push(at);
+        },
+    );
+    let ccount = Arc::clone(&counters);
+    let cstop = Arc::clone(&ctx.stop);
+    let clock = ctx.clock;
+    let consumer = thread::spawn(move || {
+        let mut batch = Vec::new();
+        let mut next = period;
+        loop {
+            let deadline = clock.wall_deadline(next);
+            // Wait out the period, but let a producer "full" signal break
+            // in early (overflow handling, §III-A).
+            let overflowed = {
+                let mut items = buf.items.lock();
+                if items.len() < buf.capacity {
+                    if precise {
+                        // SPBP: condvar until shortly before the deadline,
+                        // then spin for signal-class accuracy.
+                        let early = deadline - Duration::from_micros(200);
+                        buf.signal.wait_until(&mut items, early);
+                        let full = items.len() >= buf.capacity;
+                        drop(items);
+                        if !full {
+                            crate::clock::precise_sleep_until(deadline);
+                        }
+                        full
+                    } else {
+                        // PBP: plain timed wait; whatever jitter the OS
+                        // adds is the experiment.
+                        !buf.signal.wait_until(&mut items, deadline).timed_out()
+                            && items.len() >= buf.capacity
+                    }
+                } else {
+                    true
+                }
+            };
+            ccount.add_wakeup();
+            batch.clear();
+            let n = buf.drain(&mut batch);
+            ccount.add_invocation(!overflowed, overflowed);
+            if n > 0 {
+                let _busy = ccount.busy_timer();
+                let now = Instant::now();
+                for &at in &batch {
+                    ccount.add_consumed(1);
+                    ccount.add_latency(at, now);
+                }
+            }
+            if !overflowed {
+                next += period - SimTime::ZERO;
+            }
+            // Catch up if we fell behind a whole period.
+            while clock.now_sim() > next {
+                next += period - SimTime::ZERO;
+            }
+            if cstop.load(Ordering::Relaxed) {
+                // Final drain.
+                batch.clear();
+                let n = buf.drain(&mut batch);
+                let now = Instant::now();
+                for &at in &batch {
+                    ccount.add_consumed(1);
+                    ccount.add_latency(at, now);
+                }
+                let _ = n;
+                break;
+            }
+        }
+    });
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: None,
+    }
+}
+
+/// Spawns a PBPL pair: elastic buffer against the shared pool, rate
+/// prediction, ρ-driven slot reservation through the core manager.
+pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
+    let cfg = ctx.pbpl.clone().expect("PBPL context requires a config");
+    let manager = ctx.manager.clone().expect("PBPL context requires a manager");
+    let pool = ctx.pool.clone().expect("PBPL context requires a pool");
+    let counters = Arc::new(PairCounters::new());
+    let min_cap = ((ctx.capacity as f64 * cfg.min_capacity_frac).ceil() as usize)
+        .clamp(1, ctx.capacity);
+    let buffer = Arc::new(Mutex::new(
+        ElasticBuffer::<Instant>::with_min(pool, ctx.capacity, min_cap)
+            .expect("pool covers base reservations"),
+    ));
+    let waker = Arc::new(Semaphore::new(0));
+    let overflowed = Arc::new(AtomicBool::new(false));
+    manager.register(ctx.index, Arc::clone(&waker));
+    manager.register_buffer(ctx.index, Arc::clone(&buffer));
+
+    let bp = Arc::clone(&buffer);
+    let pw = Arc::clone(&waker);
+    let pov = Arc::clone(&overflowed);
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&ctx.stop),
+        Arc::clone(&counters),
+        move |at| {
+            let mut v = at;
+            loop {
+                let mut buf = bp.lock();
+                match buf.push(v) {
+                    Ok(()) => return,
+                    Err(Overflow(back)) => {
+                        v = back;
+                        drop(buf);
+                        // Unscheduled wakeup: the buffer is full before
+                        // the reserved slot. Signal once per overflow
+                        // episode — re-signalling on every retry would
+                        // pile permits onto the semaphore and make the
+                        // consumer spin through phantom wakeups.
+                        if !pov.swap(true, Ordering::AcqRel) {
+                            pw.release(1);
+                        }
+                        thread::yield_now();
+                    }
+                }
+            }
+        },
+    );
+
+    let ccount = Arc::clone(&counters);
+    let cstop = Arc::clone(&ctx.stop);
+    let cbuf = Arc::clone(&buffer);
+    let cwaker = Arc::clone(&waker);
+    let cov = Arc::clone(&overflowed);
+    let cmgr = manager;
+    let clock = ctx.clock;
+    let cost = ctx.cost;
+    let index = ctx.index;
+    let base_capacity = ctx.capacity;
+    let consumer = thread::spawn(move || {
+        let mut predictor: Box<dyn RatePredictor> = cfg.predictor.build(0.0);
+        let mut last_invocation = SimTime::ZERO;
+        let mut batch: Vec<Instant> = Vec::new();
+        // Bootstrap reservation so the manager has something to arm.
+        let now = clock.now_sim();
+        let bootstrap = cmgr.with_book(|book| {
+            select_slot(
+                book.track(),
+                book,
+                &cost,
+                now,
+                0.0,
+                base_capacity,
+                cfg.max_latency,
+                cfg.latching,
+                Some(PairId(index)),
+            )
+        });
+        cmgr.reserve(bootstrap.slot, index);
+
+        loop {
+            let woke = cwaker.acquire_timeout(STOP_POLL);
+            let now = clock.now_sim();
+            if woke.is_none() {
+                if cstop.load(Ordering::Relaxed) {
+                    // Final drain.
+                    batch.clear();
+                    let mut buf = cbuf.lock();
+                    buf.drain_into(&mut batch);
+                    drop(buf);
+                    let t = Instant::now();
+                    for &at in &batch {
+                        ccount.add_consumed(1);
+                        ccount.add_latency(at, t);
+                    }
+                    return;
+                }
+                continue;
+            }
+            ccount.add_wakeup();
+            let was_overflow = cov.swap(false, Ordering::AcqRel);
+            ccount.add_invocation(!was_overflow, was_overflow);
+            let _busy = ccount.busy_timer();
+            batch.clear();
+            let capacity_now;
+            {
+                let mut buf = cbuf.lock();
+                buf.drain_into(&mut batch);
+                capacity_now = buf.capacity();
+            }
+            let t = Instant::now();
+            for &at in &batch {
+                ccount.add_consumed(1);
+                ccount.add_latency(at, t);
+            }
+            // Predict, select, resize, reserve — the §V-C consumer loop.
+            let dt = now.saturating_since(last_invocation);
+            last_invocation = now;
+            predictor.observe(batch.len() as u64, dt);
+            let rate = predictor.rate();
+            let choice = cmgr.with_book(|book| {
+                select_slot(
+                    book.track(),
+                    book,
+                    &cost,
+                    now,
+                    rate,
+                    capacity_now.max(base_capacity),
+                    cfg.max_latency,
+                    cfg.latching,
+                    Some(PairId(index)),
+                )
+            });
+            if cfg.resizing {
+                let next_start = cmgr.with_book(|book| book.track().slot_start(choice.slot + 1));
+                let predicted = predicted_fill(rate, now, next_start);
+                if predicted > 0.0 {
+                    let mut buf = cbuf.lock();
+                    match plan_resize(buf.capacity(), predicted, cfg.resize_margin) {
+                        ResizePlan::Grow(target) => {
+                            buf.grow_to(target);
+                        }
+                        // Never shrink right after an overflow — the
+                        // prediction just proved too low (same rule as
+                        // the simulator's pbpl_plan).
+                        ResizePlan::Shrink(target) if !was_overflow => {
+                            buf.shrink_to(target);
+                        }
+                        ResizePlan::Shrink(_) | ResizePlan::Keep => {}
+                    }
+                }
+            }
+            cmgr.reserve(choice.slot, index);
+            if cstop.load(Ordering::Relaxed) {
+                // Stop raised while we were being woken repeatedly: the
+                // buffer was just drained; take any stragglers and exit
+                // rather than waiting for a quiet 20ms window.
+                batch.clear();
+                cbuf.lock().drain_into(&mut batch);
+                let t = Instant::now();
+                for &at in &batch {
+                    ccount.add_consumed(1);
+                    ccount.add_latency(at, t);
+                }
+                return;
+            }
+        }
+    });
+
+    PairHandle {
+        counters,
+        threads: vec![producer, consumer],
+        waker: Some(waker),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_core::SlotTrack;
+    use pc_power::PowerModel;
+    use pc_sim::SimDuration;
+    use pc_trace::WorldCupConfig;
+
+    fn test_ctx(index: usize, horizon_ms: u64) -> (PairContext, Arc<AtomicBool>) {
+        let cfg = WorldCupConfig {
+            horizon: SimTime::from_millis(horizon_ms),
+            mean_rate: 2_000.0,
+            ..WorldCupConfig::quick_test()
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctx = PairContext {
+            index,
+            trace: cfg.generate(7 + index as u64),
+            clock: ReplayClock::start(1.0),
+            stop: Arc::clone(&stop),
+            capacity: 25,
+            manager: None,
+            pool: None,
+            pbpl: None,
+            cost: CostModel::from_power_model(&PowerModel::exynos_like()),
+        };
+        (ctx, stop)
+    }
+
+    fn run_pair(
+        spawn: impl FnOnce(PairContext) -> PairHandle,
+        horizon_ms: u64,
+    ) -> crate::counters::PairStats {
+        let (ctx, stop) = test_ctx(0, horizon_ms);
+        let clock = ctx.clock;
+        let handle = spawn(ctx);
+        let counters = Arc::clone(&handle.counters);
+        crate::clock::precise_sleep_until(
+            clock.wall_deadline(SimTime::from_millis(horizon_ms + 30)),
+        );
+        stop.store(true, Ordering::SeqCst);
+        handle.join();
+        counters.snapshot()
+    }
+
+    #[test]
+    fn mutex_pair_consumes_everything() {
+        let s = run_pair(spawn_mutex, 150);
+        assert!(s.items_produced > 0);
+        assert_eq!(s.items_produced, s.items_consumed);
+        assert!(s.wakeups > 0);
+        assert!(
+            s.wakeups < s.items_consumed,
+            "bursts must coalesce: {} wakeups for {} items",
+            s.wakeups,
+            s.items_consumed
+        );
+    }
+
+    #[test]
+    fn sem_pair_consumes_everything() {
+        let s = run_pair(spawn_sem, 150);
+        assert_eq!(s.items_produced, s.items_consumed);
+    }
+
+    #[test]
+    fn busy_wait_pair_zero_wakeups() {
+        let s = run_pair(|ctx| spawn_busy(ctx, false), 100);
+        assert_eq!(s.items_produced, s.items_consumed);
+        assert_eq!(s.wakeups, 0);
+        assert!(s.busy >= SimDuration::from_millis(80), "busy {}", s.busy);
+    }
+
+    #[test]
+    fn bp_pair_batches_at_capacity() {
+        let s = run_pair(spawn_bp, 200);
+        assert_eq!(s.items_produced, s.items_consumed);
+        assert!(s.overflows > 0, "BP wakes are overflows");
+        // Mean batch ≈ capacity (final partial drain allowed).
+        let mean_batch = s.items_consumed as f64 / s.invocations.max(1) as f64;
+        assert!(mean_batch > 15.0, "mean batch {mean_batch}");
+    }
+
+    #[test]
+    fn periodic_pair_scheduled_wakes() {
+        let s = run_pair(
+            |ctx| spawn_periodic(ctx, SimTime::from_millis(10), true),
+            200,
+        );
+        assert_eq!(s.items_produced, s.items_consumed);
+        assert!(s.scheduled > 0, "periodic fires must be scheduled");
+    }
+
+    #[test]
+    fn pbpl_pair_end_to_end() {
+        let clock = ReplayClock::start(1.0);
+        let track = SlotTrack::new(SimDuration::from_millis(10));
+        let manager = NativeCoreManager::new(track, clock);
+        let mgr_thread = {
+            let m = Arc::clone(&manager);
+            thread::spawn(move || m.run())
+        };
+        let pool = GlobalPool::new(25 * 2);
+        let (mut ctx, stop) = test_ctx(0, 200);
+        ctx.clock = clock;
+        ctx.manager = Some(Arc::clone(&manager));
+        ctx.pool = Some(Arc::clone(&pool));
+        ctx.pbpl = Some(PbplConfig {
+            slot: SimDuration::from_millis(10),
+            max_latency: SimDuration::from_millis(50),
+            ..PbplConfig::default()
+        });
+        let handle = spawn_pbpl(ctx);
+        let counters = Arc::clone(&handle.counters);
+        crate::clock::precise_sleep_until(clock.wall_deadline(SimTime::from_millis(260)));
+        stop.store(true, Ordering::SeqCst);
+        handle.join();
+        manager.shutdown();
+        mgr_thread.join().unwrap();
+        let s = counters.snapshot();
+        assert!(s.items_produced > 0);
+        assert_eq!(s.items_produced, s.items_consumed);
+        assert!(s.scheduled > 0, "slot wakes must fire");
+        assert!(
+            s.invocations < s.items_consumed,
+            "PBPL must batch: {} invocations for {} items",
+            s.invocations,
+            s.items_consumed
+        );
+        // Pool conservation after teardown: buffer dropped inside the
+        // threads? The buffer lives in Arc<Mutex<..>> dropped with the
+        // handle; by now all clones are gone.
+        assert_eq!(pool.available(), pool.total());
+    }
+}

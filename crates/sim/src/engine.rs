@@ -1,0 +1,177 @@
+//! The simulation driver: an event queue plus a monotonic clock.
+//!
+//! The engine deliberately does *not* own the system state. The idiomatic
+//! driver loop is:
+//!
+//! ```
+//! use pc_sim::{Engine, SimTime, SimDuration};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut eng = Engine::<Ev>::new(42);
+//! eng.schedule_after(SimDuration::from_micros(10), Ev::Tick(0));
+//! let mut ticks = 0;
+//! while let Some((t, ev)) = eng.next_before(SimTime::from_secs(1)) {
+//!     match ev {
+//!         Ev::Tick(n) if n < 4 => {
+//!             ticks += 1;
+//!             eng.schedule_after(SimDuration::from_micros(10), Ev::Tick(n + 1));
+//!         }
+//!         Ev::Tick(_) => { ticks += 1; }
+//!     }
+//!     let _ = t;
+//! }
+//! assert_eq!(ticks, 5);
+//! ```
+//!
+//! Keeping state outside the engine sidesteps the usual borrow tangle of
+//! callback-based designs and makes system models plain, testable structs.
+
+use crate::event::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Event queue + clock + deterministic RNG. See the module docs for the
+/// driver-loop idiom.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    rng: SimRng,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's deterministic random number generator.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedules `ev` at the absolute time `at`. Scheduling in the past is
+    /// a logic error and panics in debug builds; in release builds the
+    /// event fires "now" (the queue clamps nothing, but the pop loop
+    /// processes it immediately, preserving run-to-completion semantics).
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule(at, ev)
+    }
+
+    /// Schedules `ev` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, ev: E) -> EventId {
+        let at = self.now.saturating_add(after);
+        self.queue.schedule(at, ev)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pops the next event if it fires at or before `deadline`, advancing
+    /// the clock to its timestamp.
+    pub fn next_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop_until(deadline)?;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Pops the next event unconditionally, advancing the clock.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self with side effects on the clock
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Advances the clock to `t` without processing events. Intended for
+    /// finalising accounting at the end of a run; `t` must not precede any
+    /// pending event (checked in debug builds).
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_follows_events() {
+        let mut eng = Engine::new(1);
+        eng.schedule_at(SimTime::from_micros(7), "a");
+        eng.schedule_at(SimTime::from_micros(3), "b");
+        assert_eq!(eng.now(), SimTime::ZERO);
+        let (t, ev) = eng.next().unwrap();
+        assert_eq!((t, ev), (SimTime::from_micros(3), "b"));
+        assert_eq!(eng.now(), SimTime::from_micros(3));
+        eng.next().unwrap();
+        assert_eq!(eng.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn next_before_stops_at_deadline() {
+        let mut eng = Engine::new(1);
+        eng.schedule_at(SimTime::from_secs(2), ());
+        assert!(eng.next_before(SimTime::from_secs(1)).is_none());
+        // Deadline misses must not advance the clock.
+        assert_eq!(eng.now(), SimTime::ZERO);
+        assert!(eng.next_before(SimTime::from_secs(2)).is_some());
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut eng = Engine::new(1);
+        eng.schedule_at(SimTime::from_micros(10), 0u8);
+        eng.next().unwrap();
+        eng.schedule_after(SimDuration::from_micros(5), 1u8);
+        let (t, ev) = eng.next().unwrap();
+        assert_eq!(ev, 1);
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new(1);
+        let id = eng.schedule_at(SimTime::from_micros(1), "doomed");
+        eng.schedule_at(SimTime::from_micros(2), "kept");
+        assert!(eng.cancel(id));
+        assert_eq!(eng.next().map(|(_, e)| e), Some("kept"));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = Engine::<()>::new(99);
+        let mut b = Engine::<()>::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+}

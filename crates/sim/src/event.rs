@@ -1,0 +1,270 @@
+//! A cancellable discrete-event priority queue.
+//!
+//! Events are ordered by their scheduled time; ties are broken by insertion
+//! order (FIFO), which keeps simulations deterministic when several events
+//! fall on the same nanosecond — a common situation when consumer wakeups
+//! are deliberately *aligned to slots*, which is the whole point of the
+//! PBPL algorithm.
+//!
+//! Cancellation is lazy: a cancelled event stays in the heap and is skipped
+//! on pop. This gives O(1) cancellation, which matters because the PBPL
+//! core manager frequently re-targets its "next slot" timer.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Sequence numbers are already unique, dense integers — hashing them
+/// through SipHash on every schedule/pop would be pure overhead on the
+/// simulator's hottest path.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("SeqHasher only hashes u64 sequence numbers");
+    }
+    fn write_u64(&mut self, n: u64) {
+        // Multiply by a large odd constant so dense seqs spread across
+        // buckets despite HashMap's power-of-two masking.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    /// Sequence numbers of events that are scheduled and not yet fired or
+    /// cancelled. Heap entries whose seq is absent here are tombstones.
+    pending: SeqSet,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: SeqSet::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns a handle usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending, `false` if it had already fired or been
+    /// cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// The earliest pending event time, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_tombstones();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_tombstones();
+        let s = self.heap.pop()?;
+        self.pending.remove(&s.seq);
+        Some((s.at, s.payload))
+    }
+
+    /// Pops the earliest pending event only if it fires at or before
+    /// `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    fn skip_tombstones(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), "b")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_harmless() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "a");
+        q.schedule(t(50), "b");
+        assert_eq!(q.pop_until(t(10)), Some((t(10), "a")));
+        assert_eq!(q.pop_until(t(30)), None);
+        assert_eq!(q.pop_until(t(50)), Some((t(50), "b")));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel_stress() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for round in 0u64..50 {
+            for i in 0..20 {
+                ids.push(q.schedule(t(round * 100 + i * 3), (round, i)));
+            }
+            for id in ids.iter().skip((round as usize) * 20).step_by(3) {
+                q.cancel(*id);
+            }
+            for _ in 0..10 {
+                q.pop();
+            }
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based model checks of the discrete-event substrate: the
+//! cancellable event queue against a sorted reference, and the core
+//! activity accumulator against a brute-force interval union.
+
+use pc_sim::{Core, CoreId, EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum QOp {
+    Schedule(u64),
+    CancelNth(usize),
+    Pop,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn event_queue_matches_sorted_reference(
+        script in prop::collection::vec(
+            prop_oneof![
+                (0u64..1_000_000).prop_map(QOp::Schedule),
+                (0usize..64).prop_map(QOp::CancelNth),
+                Just(QOp::Pop),
+            ],
+            1..300,
+        )
+    ) {
+        let mut q = EventQueue::new();
+        // Reference: (time, seq, payload, alive) in insertion order.
+        let mut reference: Vec<(u64, usize, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        for (seq, op) in script.into_iter().enumerate() {
+            match op {
+                QOp::Schedule(t) => {
+                    let id = q.schedule(SimTime::from_nanos(t), seq);
+                    ids.push(id);
+                    reference.push((t, seq, true));
+                }
+                QOp::CancelNth(n) => {
+                    if let Some(&id) = ids.get(n) {
+                        let did = q.cancel(id);
+                        let model_did = reference
+                            .get_mut(n)
+                            .map(|e| std::mem::replace(&mut e.2, false))
+                            .unwrap_or(false);
+                        prop_assert_eq!(did, model_did, "cancel semantics diverged");
+                    }
+                }
+                QOp::Pop => {
+                    let got = q.pop();
+                    // Reference pop: earliest (time, then insertion order)
+                    // alive entry.
+                    let best = reference
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.2)
+                        .min_by_key(|(_, e)| (e.0, e.1))
+                        .map(|(i, e)| (i, e.0, e.1));
+                    match (got, best) {
+                        (None, None) => {}
+                        (Some((t, payload)), Some((i, bt, bseq))) => {
+                            prop_assert_eq!(t, SimTime::from_nanos(bt));
+                            prop_assert_eq!(payload, bseq);
+                            reference[i].2 = false;
+                        }
+                        (got, best) => {
+                            prop_assert!(false, "pop diverged: {got:?} vs {best:?}");
+                        }
+                    }
+                }
+            }
+            let alive = reference.iter().filter(|e| e.2).count();
+            prop_assert_eq!(q.len(), alive);
+        }
+    }
+
+    #[test]
+    fn core_accounting_matches_interval_union(
+        spans in prop::collection::vec((0u64..10_000, 1u64..2_000), 1..60)
+    ) {
+        // Build sorted-by-start spans as the simulator would deliver them.
+        let mut sorted: Vec<(u64, u64)> = spans
+            .into_iter()
+            .map(|(s, len)| (s, s + len))
+            .collect();
+        sorted.sort();
+        let end_of_run = sorted.iter().map(|&(_, e)| e).max().unwrap() + 100;
+
+        let mut core = Core::new(CoreId(0));
+        for &(s, e) in &sorted {
+            core.add_active_span(SimTime::from_nanos(s), SimTime::from_nanos(e));
+        }
+        let report = core.finish(SimTime::from_nanos(end_of_run));
+        prop_assert!(report.validate().is_ok(), "{:?}", report.validate());
+
+        // Brute-force union on a merged interval list.
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for &(s, e) in &sorted {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let active: u64 = merged.iter().map(|&(s, e)| e - s).sum();
+        prop_assert_eq!(report.active_time, SimDuration::from_nanos(active));
+        prop_assert_eq!(report.wakeups, merged.len() as u64);
+        prop_assert_eq!(
+            report.idle_time(),
+            SimDuration::from_nanos(end_of_run - active)
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixed-width histograms.
+//!
+//! Used for item-latency distributions: batching trades latency for power
+//! (§III-C "Batch processing has its drawbacks, mainly of which is the
+//! latency in responding to items"), so the experiment runners report
+//! latency histograms alongside power figures.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform bin width over `[lo, hi)` plus overflow and
+/// underflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (including out-of-range ones). `NaN` when
+    /// empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The inclusive-lower bound of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Approximate quantile from the binned data (`q` in `[0,1]`), using
+    /// the lower edge of the bin containing the quantile. Out-of-range
+    /// mass is attributed to the extremes. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = self.underflow;
+        if cum >= target && target > 0 {
+            return self.lo;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bin_lo(i);
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.99);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn mean_includes_all() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(1.0);
+        h.record(3.0);
+        h.record(20.0); // overflow still counted in mean
+        assert!((h.mean() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!((q50 - 49.0).abs() <= 1.0, "q50 = {q50}");
+        assert!((q90 - 89.0).abs() <= 1.0, "q90 = {q90}");
+    }
+
+    #[test]
+    fn quantile_zero_is_minimum_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(7.3);
+        h.record(8.1);
+        // q=0 must land on the lowest populated bin, not bin 0.
+        assert_eq!(h.quantile(0.0), 7.0);
+    }
+
+    #[test]
+    fn bin_lo_edges() {
+        let h = Histogram::new(10.0, 20.0, 5);
+        assert_eq!(h.bin_lo(0), 10.0);
+        assert_eq!(h.bin_lo(1), 12.0);
+        assert_eq!(h.bin_lo(4), 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn empty_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

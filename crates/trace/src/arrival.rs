@@ -1,0 +1,324 @@
+//! Arrival processes: generators of item production times υᵢⱼ.
+//!
+//! The paper's producers emit "at their independent varying rates"
+//! (§IV-B). These building blocks produce such timestamp streams; the
+//! [`crate::worldcup`] generator composes them into the web-log-like
+//! workload used by every experiment.
+
+use pc_sim::{SimDuration, SimRng, SimTime};
+
+/// A stochastic process generating successive arrival instants.
+pub trait ArrivalProcess {
+    /// The next arrival strictly after `now`, or `None` if the process
+    /// has ended.
+    fn next_arrival(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime>;
+
+    /// Collects arrivals in `[0, horizon)` into a vector.
+    fn generate(&mut self, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime>
+    where
+        Self: Sized,
+    {
+        let mut times = Vec::new();
+        let mut now = SimTime::ZERO;
+        while let Some(t) = self.next_arrival(now, rng) {
+            if t >= horizon {
+                break;
+            }
+            times.push(t);
+            now = t;
+        }
+        times
+    }
+}
+
+/// Deterministic arrivals at a fixed rate (items/second).
+#[derive(Debug, Clone)]
+pub struct ConstantRate {
+    interval: SimDuration,
+}
+
+impl ConstantRate {
+    /// One arrival every `1/rate` seconds.
+    ///
+    /// Panics for non-positive rates.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "constant rate must be positive");
+        ConstantRate {
+            interval: SimDuration::from_secs_f64(1.0 / rate).max(SimDuration::from_nanos(1)),
+        }
+    }
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn next_arrival(&mut self, now: SimTime, _rng: &mut SimRng) -> Option<SimTime> {
+        now.checked_add(self.interval)
+    }
+}
+
+/// Homogeneous Poisson arrivals at a fixed mean rate.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Poisson process with mean `rate` arrivals/second.
+    ///
+    /// Panics for non-positive rates.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "poisson rate must be positive");
+        PoissonProcess { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_arrival(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        let gap = SimDuration::from_secs_f64(rng.exponential(self.rate))
+            .max(SimDuration::from_nanos(1));
+        now.checked_add(gap)
+    }
+}
+
+/// A Markov-modulated Poisson process: a small continuous-time Markov
+/// chain over rate states; arrivals are Poisson at the current state's
+/// rate. The standard model for bursty, non-constant traffic.
+#[derive(Debug, Clone)]
+pub struct MmppProcess {
+    /// Arrival rate per state (items/second).
+    rates: Vec<f64>,
+    /// Mean sojourn time per state.
+    sojourn: Vec<SimDuration>,
+    state: usize,
+    /// When the chain leaves the current state.
+    state_until: SimTime,
+}
+
+impl MmppProcess {
+    /// Builds an MMPP from `(rate, mean_sojourn)` pairs. State transitions
+    /// pick a uniformly random *different* state.
+    ///
+    /// Panics on empty input or non-positive rates.
+    pub fn new(states: &[(f64, SimDuration)]) -> Self {
+        assert!(!states.is_empty(), "MMPP needs at least one state");
+        for &(r, _) in states {
+            assert!(r > 0.0, "MMPP rates must be positive");
+        }
+        MmppProcess {
+            rates: states.iter().map(|s| s.0).collect(),
+            sojourn: states.iter().map(|s| s.1).collect(),
+            state: 0,
+            state_until: SimTime::ZERO,
+        }
+    }
+
+    fn advance_state(&mut self, now: SimTime, rng: &mut SimRng) {
+        while now >= self.state_until {
+            if self.rates.len() > 1 && self.state_until > SimTime::ZERO {
+                // Jump to a uniformly random other state.
+                let mut next = rng.next_below(self.rates.len() as u64 - 1) as usize;
+                if next >= self.state {
+                    next += 1;
+                }
+                self.state = next;
+            }
+            let hold = SimDuration::from_secs_f64(
+                rng.exponential(1.0 / self.sojourn[self.state].as_secs_f64()),
+            )
+            .max(SimDuration::from_micros(1));
+            self.state_until = self.state_until.max(now).saturating_add(hold);
+        }
+    }
+}
+
+impl ArrivalProcess for MmppProcess {
+    fn next_arrival(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        self.advance_state(now, rng);
+        let gap = SimDuration::from_secs_f64(rng.exponential(self.rates[self.state]))
+            .max(SimDuration::from_nanos(1));
+        now.checked_add(gap)
+    }
+}
+
+/// An on/off burst process: exponential bursts of high-rate Poisson
+/// arrivals separated by exponential silences. Models flash crowds.
+#[derive(Debug, Clone)]
+pub struct OnOffBurst {
+    /// Rate while on.
+    pub on_rate: f64,
+    /// Mean on-period length.
+    pub mean_on: SimDuration,
+    /// Mean off-period length.
+    pub mean_off: SimDuration,
+    on: bool,
+    phase_until: SimTime,
+}
+
+impl OnOffBurst {
+    /// Creates the process starting in the off phase.
+    ///
+    /// Panics for non-positive rate or zero period means.
+    pub fn new(on_rate: f64, mean_on: SimDuration, mean_off: SimDuration) -> Self {
+        assert!(on_rate > 0.0, "burst rate must be positive");
+        assert!(
+            !mean_on.is_zero() && !mean_off.is_zero(),
+            "period means must be nonzero"
+        );
+        OnOffBurst {
+            on_rate,
+            mean_on,
+            mean_off,
+            on: false,
+            phase_until: SimTime::ZERO,
+        }
+    }
+
+    fn advance_phase(&mut self, now: SimTime, rng: &mut SimRng) {
+        while now >= self.phase_until {
+            self.on = !self.on;
+            let mean = if self.on { self.mean_on } else { self.mean_off };
+            let hold = SimDuration::from_secs_f64(rng.exponential(1.0 / mean.as_secs_f64()))
+                .max(SimDuration::from_micros(1));
+            self.phase_until = self.phase_until.max(now).saturating_add(hold);
+        }
+    }
+}
+
+impl ArrivalProcess for OnOffBurst {
+    fn next_arrival(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        let mut t = now;
+        loop {
+            self.advance_phase(t, rng);
+            if self.on {
+                let gap = SimDuration::from_secs_f64(rng.exponential(self.on_rate))
+                    .max(SimDuration::from_nanos(1));
+                let cand = t.checked_add(gap)?;
+                if cand < self.phase_until {
+                    return Some(cand);
+                }
+                // Burst ended before the candidate arrival; skip to the
+                // end of the burst and re-evaluate in the off phase.
+                t = self.phase_until;
+            } else {
+                t = self.phase_until;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon_secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_rate_exact_count() {
+        let mut p = ConstantRate::new(1000.0);
+        let mut rng = SimRng::new(1);
+        let times = p.generate(horizon_secs(1), &mut rng);
+        // First arrival at 1ms, last below 1s.
+        assert_eq!(times.len(), 999);
+        assert_eq!(times[0], SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn constant_rate_evenly_spaced() {
+        let mut p = ConstantRate::new(100.0);
+        let mut rng = SimRng::new(1);
+        let times = p.generate(horizon_secs(1), &mut rng);
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_close() {
+        let mut p = PoissonProcess::new(5000.0);
+        let mut rng = SimRng::new(7);
+        let times = p.generate(horizon_secs(10), &mut rng);
+        let rate = times.len() as f64 / 10.0;
+        assert!((rate - 5000.0).abs() < 150.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_strictly_increasing() {
+        let mut p = PoissonProcess::new(100000.0);
+        let mut rng = SimRng::new(9);
+        let times = p.generate(horizon_secs(1), &mut rng);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mmpp_rate_between_state_rates() {
+        let mut p = MmppProcess::new(&[
+            (1000.0, SimDuration::from_millis(100)),
+            (20000.0, SimDuration::from_millis(50)),
+        ]);
+        let mut rng = SimRng::new(11);
+        let times = p.generate(horizon_secs(10), &mut rng);
+        let rate = times.len() as f64 / 10.0;
+        assert!(rate > 1500.0 && rate < 19000.0, "rate {rate}");
+    }
+
+    #[test]
+    fn mmpp_single_state_degenerates_to_poisson() {
+        let mut p = MmppProcess::new(&[(3000.0, SimDuration::from_millis(10))]);
+        let mut rng = SimRng::new(13);
+        let times = p.generate(horizon_secs(5), &mut rng);
+        let rate = times.len() as f64 / 5.0;
+        assert!((rate - 3000.0).abs() < 200.0, "rate {rate}");
+    }
+
+    #[test]
+    fn onoff_bursty_cv_exceeds_poisson() {
+        // Coefficient of variation of inter-arrivals: Poisson ⇒ ~1,
+        // bursty ⇒ noticeably above 1.
+        let mut rng = SimRng::new(17);
+        let mut burst = OnOffBurst::new(
+            50_000.0,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(45),
+        );
+        let times = burst.generate(horizon_secs(5), &mut rng);
+        assert!(times.len() > 1000);
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.5, "cv {cv} should reflect burstiness");
+    }
+
+    #[test]
+    fn onoff_arrivals_only_in_bursts() {
+        let mut rng = SimRng::new(19);
+        let mut burst = OnOffBurst::new(
+            10_000.0,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(90),
+        );
+        let times = burst.generate(horizon_secs(5), &mut rng);
+        // Effective average rate must be far below the on-rate.
+        let rate = times.len() as f64 / 5.0;
+        assert!(rate < 4000.0, "rate {rate} should be duty-cycled down");
+    }
+
+    #[test]
+    fn generate_respects_horizon() {
+        let mut p = PoissonProcess::new(1000.0);
+        let mut rng = SimRng::new(23);
+        let horizon = SimTime::from_millis(100);
+        let times = p.generate(horizon, &mut rng);
+        assert!(times.iter().all(|&t| t < horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ConstantRate::new(0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Loading production traces from real logs.
+//!
+//! The paper replayed the 1998 World Cup access log \[4\]. That dataset
+//! (and most web access logs) reduces, for producer-consumer purposes,
+//! to a sorted sequence of request timestamps. This module ingests:
+//!
+//! * **Timestamp-per-line** text (integer epoch seconds, or fractional
+//!   seconds) — the format the WC'98 tools emit after `recreate | cut`.
+//! * **Common Log Format** lines (`host - - [day/mon/year:HH:MM:SS zone] …`),
+//!   using only the time-of-request field.
+//!
+//! Loaded timestamps are rebased to zero, optionally time-compressed
+//! (the paper replays 50-second windows), and wrapped in a [`Trace`].
+//! Second-granularity logs are optionally *spread*: requests sharing a
+//! second get uniformly jittered inside it so replay doesn't deliver
+//! them as one mega-batch (deterministic per seed).
+
+use crate::trace::Trace;
+use pc_sim::{SimDuration, SimRng, SimTime};
+use std::io::BufRead;
+
+/// Errors from trace ingestion.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// A line could not be parsed; carries the 1-based line number.
+    BadLine(usize),
+    /// The file contained no usable timestamps.
+    Empty,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadLine(n) => write!(f, "unparsable timestamp on line {n}"),
+            LoadError::Empty => write!(f, "no timestamps found"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parses timestamp-per-line text (epoch seconds, integer or fractional)
+/// into seconds-since-epoch values. Blank lines and `#` comments are
+/// skipped; out-of-order inputs are sorted.
+pub fn parse_timestamp_lines<R: BufRead>(reader: R) -> Result<Vec<f64>, LoadError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|_| LoadError::BadLine(idx + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|_| LoadError::BadLine(idx + 1))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(LoadError::BadLine(idx + 1));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    Ok(out)
+}
+
+/// Extracts the time-of-day (as seconds from the first request's day
+/// start) from Common Log Format lines. Only the `[dd/Mon/yyyy:HH:MM:SS`
+/// prefix of the bracketed field is used; dates are flattened into a
+/// running day counter so multi-day logs stay monotone.
+pub fn parse_common_log<R: BufRead>(reader: R) -> Result<Vec<f64>, LoadError> {
+    let mut out = Vec::new();
+    let mut last_day_key: Option<String> = None;
+    let mut day_index: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|_| LoadError::BadLine(idx + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let open = trimmed.find('[').ok_or(LoadError::BadLine(idx + 1))?;
+        let rest = &trimmed[open + 1..];
+        // dd/Mon/yyyy:HH:MM:SS
+        let mut parts = rest.splitn(2, ':');
+        let day_key = parts.next().ok_or(LoadError::BadLine(idx + 1))?.to_string();
+        let clock = parts.next().ok_or(LoadError::BadLine(idx + 1))?;
+        let hms: Vec<&str> = clock.splitn(3, ':').collect();
+        if hms.len() != 3 || hms[2].len() < 2 {
+            return Err(LoadError::BadLine(idx + 1));
+        }
+        let h: f64 = hms[0].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
+        let m: f64 = hms[1].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
+        let s: f64 = hms[2][..2].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
+        if last_day_key.as_deref() != Some(day_key.as_str()) {
+            if last_day_key.is_some() {
+                day_index += 1;
+            }
+            last_day_key = Some(day_key);
+        }
+        out.push(day_index as f64 * 86_400.0 + h * 3600.0 + m * 60.0 + s);
+    }
+    if out.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+    Ok(out)
+}
+
+/// Options for converting raw log timestamps into a replayable [`Trace`].
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Compress the log's wall time into this horizon (the paper plays
+    /// 50-second experiments). `None` keeps real time.
+    pub compress_to: Option<SimDuration>,
+    /// Spread same-second batches uniformly inside their second
+    /// (pre-compression) with this seed. `None` keeps the raw stamps.
+    pub spread_seed: Option<u64>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            compress_to: Some(SimDuration::from_secs(50)),
+            spread_seed: Some(1),
+        }
+    }
+}
+
+/// Rebases, optionally spreads and compresses raw timestamps (seconds)
+/// into a [`Trace`].
+pub fn to_trace(raw_seconds: &[f64], opts: &ReplayOptions) -> Result<Trace, LoadError> {
+    if raw_seconds.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    let base = raw_seconds[0];
+    let mut secs: Vec<f64> = raw_seconds.iter().map(|&t| t - base).collect();
+
+    if let Some(seed) = opts.spread_seed {
+        let mut rng = SimRng::new(seed ^ 0x10AD_10AD);
+        for v in secs.iter_mut() {
+            if *v == v.trunc() {
+                *v += rng.next_f64();
+            }
+        }
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    }
+
+    let span = secs.last().expect("non-empty").max(1e-9);
+    let (scale, horizon) = match opts.compress_to {
+        Some(h) => (h.as_secs_f64() / (span + 1e-9), h),
+        None => (
+            1.0,
+            SimDuration::from_secs_f64(span + 1.0),
+        ),
+    };
+    let horizon_t = SimTime::ZERO + horizon;
+    // Equal timestamps are legal in a Trace (simultaneous requests are a
+    // real log phenomenon) — no dedup, every request is an item.
+    let times: Vec<SimTime> = secs
+        .iter()
+        .map(|&s| SimTime::from_nanos(((s * scale) * 1e9) as u64))
+        .filter(|&t| t < horizon_t)
+        .collect();
+    Ok(Trace::new(times, horizon_t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn timestamp_lines_roundtrip() {
+        let input = "# world cup extract\n894000000\n894000001\n\n894000003.5\n";
+        let raw = parse_timestamp_lines(Cursor::new(input)).unwrap();
+        assert_eq!(raw, vec![894000000.0, 894000001.0, 894000003.5]);
+    }
+
+    #[test]
+    fn timestamp_lines_sort_out_of_order() {
+        let raw = parse_timestamp_lines(Cursor::new("5\n2\n9\n")).unwrap();
+        assert_eq!(raw, vec![2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn bad_line_is_reported_with_number() {
+        let err = parse_timestamp_lines(Cursor::new("1\nnot-a-number\n")).unwrap_err();
+        assert_eq!(err, LoadError::BadLine(2));
+        let err = parse_timestamp_lines(Cursor::new("-5\n")).unwrap_err();
+        assert_eq!(err, LoadError::BadLine(1));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(
+            parse_timestamp_lines(Cursor::new("# only comments\n")).unwrap_err(),
+            LoadError::Empty
+        );
+    }
+
+    #[test]
+    fn common_log_format_parses_time_of_day() {
+        let input = concat!(
+            "h1 - - [30/Apr/1998:21:30:17 +0000] \"GET / HTTP/1.0\" 200 123\n",
+            "h2 - - [30/Apr/1998:21:30:18 +0000] \"GET /a HTTP/1.0\" 200 45\n",
+        );
+        let raw = parse_common_log(Cursor::new(input)).unwrap();
+        assert_eq!(raw.len(), 2);
+        assert!((raw[1] - raw[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn common_log_multi_day_stays_monotone() {
+        let input = concat!(
+            "h - - [30/Apr/1998:23:59:59 +0000] \"GET / HTTP/1.0\" 200 1\n",
+            "h - - [01/May/1998:00:00:01 +0000] \"GET / HTTP/1.0\" 200 1\n",
+        );
+        let raw = parse_common_log(Cursor::new(input)).unwrap();
+        assert!(raw[1] > raw[0], "{raw:?}");
+    }
+
+    #[test]
+    fn common_log_bad_bracket_field() {
+        let err = parse_common_log(Cursor::new("garbage line\n")).unwrap_err();
+        assert_eq!(err, LoadError::BadLine(1));
+    }
+
+    #[test]
+    fn to_trace_compresses_into_horizon() {
+        let raw: Vec<f64> = (0..100).map(|k| 894000000.0 + k as f64 * 60.0).collect();
+        let trace = to_trace(
+            &raw,
+            &ReplayOptions {
+                compress_to: Some(SimDuration::from_secs(50)),
+                spread_seed: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.horizon(), SimTime::from_secs(50));
+        assert_eq!(trace.len(), 100);
+        assert!(trace.times().iter().all(|&t| t < SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn spreading_breaks_same_second_batches() {
+        // 50 requests stamped in the same second.
+        let raw = vec![894000000.0; 50];
+        let spread = to_trace(
+            &raw,
+            &ReplayOptions {
+                compress_to: None,
+                spread_seed: Some(7),
+            },
+        )
+        .unwrap();
+        assert_eq!(spread.len(), 50);
+        let distinct_gaps = spread
+            .interarrivals()
+            .filter(|g| !g.is_zero())
+            .count();
+        assert!(distinct_gaps > 40, "{distinct_gaps}");
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_preserved() {
+        // 10 requests in the same second, no spreading: all 10 must
+        // survive as items (simultaneous arrivals are data, not noise).
+        let raw = vec![894000000.0; 10];
+        let trace = to_trace(
+            &raw,
+            &ReplayOptions {
+                compress_to: None,
+                spread_seed: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    fn spreading_is_deterministic() {
+        let raw = vec![1.0, 1.0, 2.0, 2.0, 2.0];
+        let opts = ReplayOptions {
+            compress_to: Some(SimDuration::from_secs(1)),
+            spread_seed: Some(3),
+        };
+        let a = to_trace(&raw, &opts).unwrap();
+        let b = to_trace(&raw, &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncompressed_keeps_real_spacing() {
+        let raw = vec![10.0, 11.0, 13.0];
+        let trace = to_trace(
+            &raw,
+            &ReplayOptions {
+                compress_to: None,
+                spread_seed: None,
+            },
+        )
+        .unwrap();
+        let gaps: Vec<_> = trace.interarrivals().collect();
+        assert_eq!(gaps[0], SimDuration::from_secs(1));
+        assert_eq!(gaps[1], SimDuration::from_secs(2));
+    }
+}

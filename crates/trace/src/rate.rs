@@ -1,0 +1,122 @@
+//! Rate-series analysis over traces.
+//!
+//! Consumers in the PBPL algorithm predict "the rate of items produced by
+//! the producer based on the recent past" (§V-C); these helpers provide
+//! the ground-truth rate series against which predictor accuracy is
+//! evaluated, plus burstiness characterisation of generated workloads.
+
+use crate::trace::Trace;
+use pc_sim::{SimDuration, SimTime};
+
+/// Items/second in consecutive windows of length `window` covering the
+/// trace horizon. The final partial window is normalised by its true
+/// length.
+pub fn windowed_rates(trace: &Trace, window: SimDuration) -> Vec<f64> {
+    assert!(!window.is_zero(), "window must be nonzero");
+    let horizon = trace.horizon();
+    let mut rates = Vec::new();
+    let mut start = SimTime::ZERO;
+    while start < horizon {
+        let end = start.saturating_add(window).min(horizon);
+        let n = trace.count_between(start, end);
+        let span = end.since(start).as_secs_f64();
+        if span > 0.0 {
+            rates.push(n as f64 / span);
+        }
+        start = end;
+    }
+    rates
+}
+
+/// A simple burstiness index: the ratio of the 95th-percentile windowed
+/// rate to the mean windowed rate. 1.0 ⇒ perfectly smooth; the paper's
+/// workload sits well above.
+pub fn burstiness_index(trace: &Trace, window: SimDuration) -> f64 {
+    let rates = windowed_rates(trace, window);
+    if rates.is_empty() {
+        return f64::NAN;
+    }
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    if mean == 0.0 {
+        return f64::NAN;
+    }
+    let mut sorted = rates.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let p95 = sorted[((sorted.len() - 1) as f64 * 0.95) as usize];
+    p95 / mean
+}
+
+/// The peak windowed rate of the trace.
+pub fn peak_rate(trace: &Trace, window: SimDuration) -> f64 {
+    windowed_rates(trace, window)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn windowed_rates_uniform_trace() {
+        // 1 item per 10ms over 100ms → 100/s in every 20ms window.
+        let times = (1..=10).map(|k| t(k * 10 - 5)).collect();
+        let trace = Trace::new(times, t(100));
+        let rates = windowed_rates(&trace, SimDuration::from_millis(20));
+        assert_eq!(rates.len(), 5);
+        for r in rates {
+            assert!((r - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn windowed_rates_partial_tail() {
+        let trace = Trace::new(vec![t(5), t(25)], t(30));
+        let rates = windowed_rates(&trace, SimDuration::from_millis(20));
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] - 50.0).abs() < 1e-9); // 1 item / 20ms
+        assert!((rates[1] - 100.0).abs() < 1e-9); // 1 item / 10ms tail
+    }
+
+    #[test]
+    fn burstiness_of_smooth_trace_is_one() {
+        let times = (1..100).map(|k| t(k * 10)).collect();
+        let trace = Trace::new(times, t(1000));
+        let b = burstiness_index(&trace, SimDuration::from_millis(100));
+        assert!((b - 1.0).abs() < 0.05, "burstiness {b}");
+    }
+
+    #[test]
+    fn burstiness_of_clustered_trace_above_one() {
+        // All items in the first 10% of the horizon.
+        let times = (1..100).map(t).collect();
+        let trace = Trace::new(times, t(1000));
+        let b = burstiness_index(&trace, SimDuration::from_millis(50));
+        assert!(b > 3.0, "burstiness {b}");
+    }
+
+    #[test]
+    fn peak_rate_finds_cluster() {
+        let times = vec![t(10), t(11), t(12), t(900)];
+        let trace = Trace::new(times, t(1000));
+        let peak = peak_rate(&trace, SimDuration::from_millis(100));
+        assert!((peak - 30.0).abs() < 1e-9, "peak {peak}");
+    }
+
+    #[test]
+    fn empty_trace_burstiness_nan() {
+        let trace = Trace::new(vec![], t(100));
+        assert!(burstiness_index(&trace, SimDuration::from_millis(10)).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_panics() {
+        let trace = Trace::new(vec![], t(100));
+        windowed_rates(&trace, SimDuration::ZERO);
+    }
+}

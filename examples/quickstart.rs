@@ -1,0 +1,64 @@
+//! Quickstart: run the paper's algorithm (PBPL) against the classic
+//! mutex implementation on the same workload and compare the power
+//! profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pcpower::core::{Experiment, StrategyKind};
+use pcpower::sim::SimDuration;
+use pcpower::trace::WorldCupConfig;
+
+fn main() {
+    // A web-server-like workload: bursty, non-constant rate (the stand-in
+    // for the paper's World Cup '98 access log).
+    let workload = WorldCupConfig::paper_default();
+
+    // Five producer-consumer pairs on a dual-core system, 5 simulated
+    // seconds, buffers of 25 items — the paper's Figure 9 configuration.
+    let run = |strategy: StrategyKind| {
+        Experiment::builder()
+            .pairs(5)
+            .cores(2)
+            .duration(SimDuration::from_secs(5))
+            .buffer_capacity(25)
+            .trace(workload.clone())
+            .strategy(strategy)
+            .seed(42)
+            .run()
+    };
+
+    let mutex = run(StrategyKind::Mutex);
+    let pbpl = run(StrategyKind::pbpl_default());
+
+    println!("metric                    Mutex        PBPL");
+    println!(
+        "power over idle (mW)   {:>8.1}    {:>8.1}",
+        mutex.extra_power_mw(),
+        pbpl.extra_power_mw()
+    );
+    println!(
+        "core wakeups/s         {:>8.1}    {:>8.1}",
+        mutex.wakeups_per_sec(),
+        pbpl.wakeups_per_sec()
+    );
+    println!(
+        "CPU usage (ms/s)       {:>8.2}    {:>8.2}",
+        mutex.usage_ms_per_sec(),
+        pbpl.usage_ms_per_sec()
+    );
+    println!(
+        "mean latency           {:>8}    {:>8}",
+        format!("{}", mutex.mean_latency()),
+        format!("{}", pbpl.mean_latency())
+    );
+    println!(
+        "items consumed         {:>8}    {:>8}",
+        mutex.items_consumed, pbpl.items_consumed
+    );
+
+    let saving = (1.0 - pbpl.extra_power_mw() / mutex.extra_power_mw()) * 100.0;
+    println!("\nPBPL saves {saving:.1}% power by batching work into shared, predicted CPU wakeups.");
+    assert!(pbpl.extra_power_mw() < mutex.extra_power_mw());
+}

@@ -1,0 +1,105 @@
+//! Web-server scenario — the paper's motivating §I example: "HTTP
+//! requests produced by web browsers are stored in buffers that are
+//! consumed and processed by multiple threads in a web server."
+//!
+//! Simulates a flash-crowd day (a match kick-off in WC'98 terms) across
+//! worker shards and shows how each §III strategy — and PBPL — rides it:
+//! power, wakeups, latency, and how PBPL's elastic buffers move capacity
+//! toward the shard under the crowd.
+//!
+//! ```sh
+//! cargo run --release --example web_server
+//! ```
+
+use pcpower::core::{Experiment, RunMetrics, StrategyKind};
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::WorldCupConfig;
+
+fn flash_crowd_day() -> WorldCupConfig {
+    WorldCupConfig {
+        horizon: SimTime::from_secs(10),
+        mean_rate: 2_500.0,
+        // One big kick-off surge on a quiet diurnal background.
+        diurnal_swing: 2.0,
+        diurnal_cycles: 0.5,
+        bursts: 3,
+        burst_amplitude: 6.0,
+        burst_decay: SimDuration::from_millis(900),
+        ..WorldCupConfig::paper_default()
+    }
+}
+
+fn run(strategy: StrategyKind) -> RunMetrics {
+    Experiment::builder()
+        .pairs(8) // 8 listener shards
+        .cores(2)
+        .duration(SimDuration::from_secs(10))
+        .buffer_capacity(50)
+        .trace(flash_crowd_day())
+        .strategy(strategy)
+        .seed(7)
+        .run()
+}
+
+fn main() {
+    println!("flash-crowd web server: 8 shards, 2 cores, 10 s, ~2500 req/s/shard with 6x surges\n");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>11} | {:>11} | {:>9}",
+        "impl", "power mW", "wakeups/s", "p-lat mean", "p-lat max", "avg buf"
+    );
+
+    let strategies = vec![
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ];
+    let mut results = Vec::new();
+    for s in strategies {
+        let m = run(s);
+        println!(
+            "{:>6} | {:>10.1} | {:>10.1} | {:>11} | {:>11} | {:>9.1}",
+            m.strategy,
+            m.extra_power_mw(),
+            m.wakeups_per_sec(),
+            format!("{}", m.mean_latency()),
+            format!("{}", m.max_latency()),
+            m.mean_capacity(),
+        );
+        results.push(m);
+    }
+
+    // Show the elasticity at work: per-shard mean allocated capacity
+    // under PBPL. Shards that sat under the surge borrowed from the rest.
+    let pbpl = results.last().expect("PBPL ran");
+    println!("\nPBPL per-shard mean buffer allocation (B0 = 50, pool = 400):");
+    for p in &pbpl.pairs {
+        let bar = "#".repeat((p.mean_capacity() / 2.0) as usize);
+        println!(
+            "shard {:>2}: {:>5.1}  {}",
+            p.pair.0,
+            p.mean_capacity(),
+            bar
+        );
+    }
+    let spread = pbpl
+        .pairs
+        .iter()
+        .map(|p| p.mean_capacity())
+        .fold(f64::NEG_INFINITY, f64::max)
+        - pbpl
+            .pairs
+            .iter()
+            .map(|p| p.mean_capacity())
+            .fold(f64::INFINITY, f64::min);
+    println!("\ncapacity spread across shards: {spread:.1} items (elastic walls, §V-C)");
+
+    let mutex = &results[0];
+    println!(
+        "\nPBPL vs Mutex on this day: {:+.1}% power, {:+.1}% wakeups, mean latency {} vs {}",
+        (pbpl.extra_power_mw() / mutex.extra_power_mw() - 1.0) * 100.0,
+        (pbpl.wakeups_per_sec() / mutex.wakeups_per_sec() - 1.0) * 100.0,
+        pbpl.mean_latency(),
+        mutex.mean_latency(),
+    );
+}

@@ -1,0 +1,52 @@
+//! # pcpower — power-efficient multiple producer-consumer
+//!
+//! Umbrella crate for the reproduction of *"Power-efficient Multiple
+//! Producer-Consumer"* (Medhat, Bonakdarpour, Fischmeister — IPDPS 2014).
+//!
+//! The paper's contribution, **PBPL** (periodic batch processing with
+//! latching), lives in [`core`]; the substrates it rests on each have
+//! their own crate, re-exported here:
+//!
+//! * [`sim`] — deterministic discrete-event simulation of a multicore
+//!   machine (the stand-in for the paper's Arndale board).
+//! * [`power`] — C-state ladder, energy accounting and a PowerTop-like
+//!   meter (the stand-in for the oscilloscope + PowerTop).
+//! * [`trace`] — workload generation, including a synthetic World-Cup-'98
+//!   style web log (the stand-in for the paper's dataset \[4\]).
+//! * [`queues`] — lock-free SPSC ring, semaphores, bounded queues and the
+//!   elastic segmented buffer with a shared global pool (§V-C).
+//! * [`stats`] — confidence intervals, correlation and hypothesis tests
+//!   used by the evaluation.
+//! * [`core`] — slot track, core manager, rate predictors, the ρ cost
+//!   function, dynamic resizing, the seven baseline strategies and PBPL
+//!   itself, plus the experiment driver.
+//! * [`runtime`] — all strategies on real OS threads with wakeup/usage
+//!   instrumentation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pcpower::core::{Experiment, StrategyKind};
+//! use pcpower::trace::WorldCupConfig;
+//! use pcpower::sim::SimDuration;
+//!
+//! // Two producer-consumer pairs on two cores, PBPL strategy, 100ms run.
+//! let trace_cfg = WorldCupConfig::quick_test();
+//! let metrics = Experiment::builder()
+//!     .pairs(2)
+//!     .cores(2)
+//!     .duration(SimDuration::from_millis(100))
+//!     .strategy(StrategyKind::pbpl_default())
+//!     .trace(trace_cfg)
+//!     .seed(42)
+//!     .run();
+//! assert!(metrics.items_consumed > 0);
+//! ```
+
+pub use pc_core as core;
+pub use pc_power as power;
+pub use pc_queues as queues;
+pub use pc_runtime as runtime;
+pub use pc_sim as sim;
+pub use pc_stats as stats;
+pub use pc_trace as trace;

@@ -1,0 +1,106 @@
+//! Integration tests tying the simulator's measurements back to the
+//! paper's formal objects (§IV): the γ item-count (Eq. 1), the wakeup
+//! objective (Eqs. 3–4), and the slot-alignment objective (Eq. 7).
+
+use pcpower::core::model::{alignment_objective, Invocation};
+use pcpower::core::{gamma_count, wakeup_objective, PairId, SlotTrack};
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::WorldCupConfig;
+
+#[test]
+fn gamma_agrees_with_trace_counts() {
+    let cfg = WorldCupConfig::quick_test();
+    let trace = cfg.generate(5);
+    for (a, b) in [(0u64, 20u64), (10, 60), (50, 100), (99, 100)] {
+        let from = SimTime::from_millis(a);
+        let to = SimTime::from_millis(b);
+        assert_eq!(
+            gamma_count(trace.times(), from, to),
+            trace.count_between(from, to)
+        );
+    }
+    // γ over the full horizon is the trace length.
+    assert_eq!(
+        gamma_count(trace.times(), SimTime::ZERO, trace.horizon()),
+        trace.len()
+    );
+}
+
+#[test]
+fn grouping_reduces_the_wakeup_objective() {
+    // The paper's Figure 6 in executable form: the same 9 invocations of
+    // three consumers cost 9 wakeups spread out, 3 when latched onto
+    // shared slots.
+    let busy = SimDuration::from_micros(50);
+    let spread: Vec<Invocation> = (0..9)
+        .map(|k| Invocation {
+            consumer: PairId(k % 3),
+            core: 0,
+            at: SimTime::from_millis(3 * k as u64 + 1),
+            busy,
+        })
+        .collect();
+    let track = SlotTrack::new(SimDuration::from_millis(9));
+    let aligned: Vec<Invocation> = (0..9)
+        .map(|k| {
+            let slot = track.slot_start((k / 3) as u64);
+            Invocation {
+                consumer: PairId(k % 3),
+                core: 0,
+                // Consumers run back to back at the slot.
+                at: slot + busy * (k % 3) as u64,
+                busy,
+            }
+        })
+        .collect();
+    assert_eq!(wakeup_objective(&spread, 1), 9);
+    assert_eq!(wakeup_objective(&aligned, 1), 3);
+}
+
+#[test]
+fn alignment_objective_zero_iff_on_slots() {
+    let track = SlotTrack::new(SimDuration::from_millis(10));
+    let g = |t: SimTime| track.g(t);
+    let on_slots: Vec<Invocation> = (1..5)
+        .map(|k| Invocation {
+            consumer: PairId(0),
+            core: 0,
+            at: track.slot_start(k),
+            busy: SimDuration::from_micros(10),
+        })
+        .collect();
+    assert_eq!(alignment_objective(&on_slots, g), SimDuration::ZERO);
+
+    let off: Vec<Invocation> = on_slots
+        .iter()
+        .map(|inv| Invocation {
+            at: inv.at + SimDuration::from_millis(3),
+            ..*inv
+        })
+        .collect();
+    assert_eq!(
+        alignment_objective(&off, g),
+        SimDuration::from_millis(12) // 4 invocations × 3ms
+    );
+}
+
+#[test]
+fn objective_is_additive_across_cores() {
+    let busy = SimDuration::from_micros(10);
+    let mk = |core: usize, at_ms: u64| Invocation {
+        consumer: PairId(core),
+        core,
+        at: SimTime::from_millis(at_ms),
+        busy,
+    };
+    let invs = vec![mk(0, 1), mk(0, 5), mk(1, 1), mk(1, 5)];
+    assert_eq!(wakeup_objective(&invs, 2), 4);
+    // Folded onto one core, the simultaneous invocations overlap and
+    // merge — cross-core wakeups never merge, same-core ones do. That
+    // asymmetry is exactly why consumers latch per core.
+    let single: Vec<Invocation> = invs
+        .iter()
+        .map(|i| Invocation { core: 0, ..*i })
+        .collect();
+    assert_eq!(wakeup_objective(&single, 1), 2);
+}

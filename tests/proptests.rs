@@ -1,0 +1,118 @@
+//! Property-based integration tests (proptest): invariants that must
+//! hold for *arbitrary* workloads and operation sequences, not just the
+//! calibrated ones.
+
+use pcpower::core::{Experiment, SlotTrack, StrategyKind};
+use pcpower::queues::{ElasticBuffer, GlobalPool};
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::Trace;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arbitrary_trace(max_items: usize, horizon_ms: u64) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(0..horizon_ms * 1_000_000, 0..max_items).prop_map(move |mut ns| {
+        ns.sort_unstable();
+        let times = ns.into_iter().map(SimTime::from_nanos).collect();
+        Trace::new(times, SimTime::from_millis(horizon_ms))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_trace_is_fully_consumed_by_every_strategy(
+        trace in arbitrary_trace(400, 50),
+        strategy_idx in 0usize..4,
+    ) {
+        let strategy = match strategy_idx {
+            0 => StrategyKind::Mutex,
+            1 => StrategyKind::Bp,
+            2 => StrategyKind::Spbp { period: SimDuration::from_millis(5) },
+            _ => StrategyKind::pbpl_default(),
+        };
+        let n = trace.len() as u64;
+        let m = Experiment::builder()
+            .pairs(1)
+            .cores(1)
+            .duration(SimDuration::from_millis(50))
+            .strategy(strategy)
+            .traces(vec![trace])
+            .buffer_capacity(16)
+            .run();
+        prop_assert_eq!(m.items_produced, n);
+        prop_assert!(m.all_items_consumed());
+        for r in &m.core_reports {
+            prop_assert!(r.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_any_seed(seed in 0u64..10_000) {
+        let run = || Experiment::builder()
+            .pairs(2)
+            .cores(2)
+            .duration(SimDuration::from_millis(60))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(pcpower::trace::WorldCupConfig::quick_test())
+            .seed(seed)
+            .run();
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.items_consumed, b.items_consumed);
+        prop_assert_eq!(a.energy.energy_j.to_bits(), b.energy.energy_j.to_bits());
+    }
+
+    #[test]
+    fn pool_units_conserved_under_arbitrary_ops(
+        ops in prop::collection::vec((0u8..4, 1usize..60), 1..200)
+    ) {
+        let total = 120usize;
+        let pool = GlobalPool::new(total);
+        let mut bufs: Vec<ElasticBuffer<u8>> = (0..3)
+            .map(|_| ElasticBuffer::new(Arc::clone(&pool), 20).expect("fits"))
+            .collect();
+        for (op, arg) in ops {
+            let b = &mut bufs[arg % 3];
+            match op {
+                0 => { b.grow_to(arg); }
+                1 => { b.shrink_to(arg % 40); }
+                2 => { let _ = b.push(0); }
+                _ => { b.pop(); }
+            }
+            let held: usize = bufs.iter().map(|b| b.capacity()).sum();
+            prop_assert_eq!(held + pool.available(), total);
+            for b in &bufs {
+                prop_assert!(b.len() <= b.capacity());
+            }
+        }
+        drop(bufs);
+        prop_assert_eq!(pool.available(), total);
+    }
+
+    #[test]
+    fn slot_g_properties(delta_us in 1u64..100_000, t_ns in 0u64..10_000_000_000) {
+        let track = SlotTrack::new(SimDuration::from_micros(delta_us));
+        let t = SimTime::from_nanos(t_ns);
+        let g = track.g(t);
+        // Eq. 6: g(t) ≤ t, on the slot grid, within Δ of t.
+        prop_assert!(g <= t);
+        prop_assert!(t.saturating_since(g) < SimDuration::from_micros(delta_us));
+        prop_assert_eq!(track.slot_start(track.slot_index(t)), g);
+        // Idempotence: g(g(t)) = g(t).
+        prop_assert_eq!(track.g(g), g);
+    }
+
+    #[test]
+    fn phase_shift_is_a_permutation(
+        trace in arbitrary_trace(200, 40),
+        numer in 0u64..8,
+    ) {
+        let fraction = numer as f64 / 8.0;
+        let shifted = trace.phase_shift(fraction);
+        prop_assert_eq!(shifted.len(), trace.len());
+        prop_assert_eq!(shifted.horizon(), trace.horizon());
+        prop_assert!(shifted.times().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(shifted.times().iter().all(|&t| t < trace.horizon()));
+    }
+}

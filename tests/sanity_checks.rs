@@ -1,0 +1,138 @@
+//! The paper's own experimental sanity checks (§III-C-1), mirrored
+//! against the simulator:
+//!
+//! 1. "a busy waiting multithreaded program running on both cores … no
+//!    experiment reaches the power consumption found in that
+//!    implementation" — BW saturating every core is the power ceiling.
+//! 2. "no background processes … the power consumed in this experiment
+//!    is less than any other experiment" — an idle system (empty traces)
+//!    is the floor.
+//! 3. measured voltages reasonable — here: power figures sit between
+//!    floor and ceiling and scale with the number of active cores.
+//! 4. statistical confidence — replicate spread is small relative to the
+//!    between-strategy differences.
+
+use pcpower::core::{Experiment, RunMetrics, StrategyKind};
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::{Trace, WorldCupConfig};
+
+fn run(strategy: StrategyKind, seed: u64) -> RunMetrics {
+    Experiment::builder()
+        .pairs(4)
+        .cores(2)
+        .duration(SimDuration::from_millis(400))
+        .strategy(strategy)
+        .trace(WorldCupConfig::quick_test())
+        .buffer_capacity(25)
+        .seed(seed)
+        .run()
+}
+
+/// Sanity check 1: busy-waiting on every core is the ceiling no other
+/// implementation reaches.
+#[test]
+fn busy_wait_on_all_cores_is_the_power_ceiling() {
+    let ceiling = run(StrategyKind::BusyWait, 1).extra_power_mw();
+    for strategy in [
+        StrategyKind::Yield,
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::Pbp {
+            period: SimDuration::from_millis(5),
+        },
+        StrategyKind::Spbp {
+            period: SimDuration::from_millis(5),
+        },
+        StrategyKind::pbpl_default(),
+    ] {
+        let p = run(strategy.clone(), 1).extra_power_mw();
+        assert!(
+            p < ceiling,
+            "{} ({p:.1} mW) must stay below the BW ceiling ({ceiling:.1} mW)",
+            strategy.name()
+        );
+    }
+}
+
+/// Sanity check 2: a system with nothing to consume is the power floor.
+#[test]
+fn idle_system_is_the_power_floor() {
+    let horizon = SimTime::from_millis(400);
+    let empty: Vec<Trace> = (0..4).map(|_| Trace::new(vec![], horizon)).collect();
+    let floor = Experiment::builder()
+        .pairs(4)
+        .cores(2)
+        .duration(SimDuration::from_millis(400))
+        .strategy(StrategyKind::pbpl_default())
+        .traces(empty)
+        .buffer_capacity(25)
+        .run()
+        .extra_power_mw();
+    // An idle PBPL system still takes its latency-bound peeks, so the
+    // floor is near — but not exactly — zero.
+    assert!(floor < 10.0, "idle floor {floor:.2} mW");
+    for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+        let p = run(strategy.clone(), 1).extra_power_mw();
+        assert!(
+            p > floor,
+            "{} ({p:.1} mW) must exceed the idle floor ({floor:.2} mW)",
+            strategy.name()
+        );
+    }
+}
+
+/// Sanity check 3: power scales with the hardware actually used — BW on
+/// one core draws about half of BW on two.
+#[test]
+fn power_scales_with_active_cores() {
+    let one = Experiment::builder()
+        .pairs(1)
+        .cores(1)
+        .duration(SimDuration::from_millis(200))
+        .strategy(StrategyKind::BusyWait)
+        .trace(WorldCupConfig::quick_test())
+        .seed(2)
+        .run()
+        .extra_power_mw();
+    let two = Experiment::builder()
+        .pairs(2)
+        .cores(2)
+        .duration(SimDuration::from_millis(200))
+        .strategy(StrategyKind::BusyWait)
+        .trace(WorldCupConfig::quick_test())
+        .seed(2)
+        .run()
+        .extra_power_mw();
+    let ratio = two / one;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "2-core BW should be ≈2x 1-core BW, got {ratio:.2}"
+    );
+}
+
+/// Sanity check 4: replicate spread is small relative to the
+/// between-strategy gaps (the paper's "conclusions are not based on
+/// outliers").
+#[test]
+fn replicate_spread_below_strategy_gaps() {
+    let reps = |s: StrategyKind| -> Vec<f64> {
+        (0..3).map(|k| run(s.clone(), 10 + k).extra_power_mw()).collect()
+    };
+    let mutex = reps(StrategyKind::Mutex);
+    let bp = reps(StrategyKind::Bp);
+    let spread = |xs: &[f64]| {
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    let mutex_mean = mutex.iter().sum::<f64>() / 3.0;
+    let bp_mean = bp.iter().sum::<f64>() / 3.0;
+    let gap = (mutex_mean - bp_mean).abs();
+    assert!(
+        spread(&mutex) < gap && spread(&bp) < gap,
+        "replicate spread (Mutex {:.1}, BP {:.1}) must stay below the gap ({gap:.1})",
+        spread(&mutex),
+        spread(&bp)
+    );
+}

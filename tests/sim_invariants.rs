@@ -1,0 +1,328 @@
+//! Cross-crate integration tests: end-to-end invariants of the simulated
+//! multiple producer-consumer system.
+
+use pcpower::core::{Experiment, PbplConfig, RunMetrics, StrategyKind};
+use pcpower::power::GovernorKind;
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::{Trace, WorldCupConfig};
+
+fn all_strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::BusyWait,
+        StrategyKind::Yield,
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::Pbp {
+            period: SimDuration::from_millis(5),
+        },
+        StrategyKind::Spbp {
+            period: SimDuration::from_millis(5),
+        },
+        StrategyKind::pbpl_default(),
+    ]
+}
+
+fn run(strategy: StrategyKind, pairs: usize, cores: usize, seed: u64) -> RunMetrics {
+    Experiment::builder()
+        .pairs(pairs)
+        .cores(cores)
+        .duration(SimDuration::from_millis(400))
+        .strategy(strategy)
+        .trace(WorldCupConfig::quick_test())
+        .buffer_capacity(25)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn every_strategy_conserves_items_across_configs() {
+    for strategy in all_strategies() {
+        for (pairs, cores) in [(1, 1), (3, 2), (6, 2), (5, 4)] {
+            let m = run(strategy.clone(), pairs, cores, 42);
+            assert!(m.items_produced > 0, "{} {pairs}x{cores}", strategy.name());
+            assert!(
+                m.all_items_consumed(),
+                "{} {pairs}x{cores}: {} produced, {} consumed",
+                strategy.name(),
+                m.items_produced,
+                m.items_consumed
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    for strategy in all_strategies() {
+        let a = run(strategy.clone(), 4, 2, 7);
+        let b = run(strategy.clone(), 4, 2, 7);
+        assert_eq!(a.items_consumed, b.items_consumed, "{}", strategy.name());
+        assert_eq!(
+            a.energy.energy_j.to_bits(),
+            b.energy.energy_j.to_bits(),
+            "{} energy must be bit-identical",
+            strategy.name()
+        );
+        assert_eq!(
+            a.meter.wakeups_per_sec.to_bits(),
+            b.meter.wakeups_per_sec.to_bits(),
+            "{}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(StrategyKind::pbpl_default(), 4, 2, 1);
+    let b = run(StrategyKind::pbpl_default(), 4, 2, 2);
+    assert_ne!(a.items_consumed, b.items_consumed);
+}
+
+#[test]
+fn core_timelines_are_well_formed_for_all_strategies() {
+    for strategy in all_strategies() {
+        let m = run(strategy.clone(), 5, 3, 13);
+        assert_eq!(m.core_reports.len(), 3);
+        for report in &m.core_reports {
+            report
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+        }
+    }
+}
+
+#[test]
+fn energy_identity_holds() {
+    // Energy must equal active + idle + wakeup parts; extra power must be
+    // non-negative for any workload.
+    for strategy in all_strategies() {
+        let m = run(strategy.clone(), 3, 2, 21);
+        assert!(m.energy.energy_j > 0.0);
+        assert!(
+            m.extra_power_mw() >= 0.0,
+            "{}: extra power {}",
+            strategy.name(),
+            m.extra_power_mw()
+        );
+        assert!(m.energy.wakeup_energy_j <= m.energy.energy_j);
+    }
+}
+
+#[test]
+fn paper_headline_ordering_on_bursty_traces() {
+    // The §III/§VI qualitative result at a glance: busy-waiting is the
+    // power disaster, batching beats item-at-a-time, PBPL is at least as
+    // good as plain batching with several consumers per core.
+    let bw = run(StrategyKind::BusyWait, 5, 2, 3);
+    let mutex = run(StrategyKind::Mutex, 5, 2, 3);
+    let bp = run(StrategyKind::Bp, 5, 2, 3);
+    let pbpl = run(StrategyKind::pbpl_default(), 5, 2, 3);
+    assert!(mutex.extra_power_mw() < 0.5 * bw.extra_power_mw());
+    assert!(bp.extra_power_mw() < mutex.extra_power_mw());
+    assert!(pbpl.extra_power_mw() < mutex.extra_power_mw());
+    assert!(pbpl.wakeups_per_sec() < mutex.wakeups_per_sec());
+}
+
+#[test]
+fn pbpl_latency_respects_bound_with_margin() {
+    let cfg = PbplConfig {
+        slot: SimDuration::from_millis(5),
+        max_latency: SimDuration::from_millis(20),
+        ..PbplConfig::default()
+    };
+    let m = run(StrategyKind::Pbpl(cfg), 4, 2, 17);
+    // Scheduled slots come within the bound; allow slack for queueing,
+    // the end-of-run flush and timer jitter.
+    assert!(
+        m.max_latency() < SimDuration::from_millis(30),
+        "max latency {}",
+        m.max_latency()
+    );
+}
+
+#[test]
+fn pbpl_scales_better_with_more_consumers() {
+    // Fig. 10's scalability claim, as a trend test: PBPL's power
+    // advantage over Mutex grows with the consumer count.
+    let gap = |pairs: usize| {
+        let mutex = run(StrategyKind::Mutex, pairs, 2, 5);
+        let pbpl = run(StrategyKind::pbpl_default(), pairs, 2, 5);
+        pbpl.extra_power_mw() / mutex.extra_power_mw()
+    };
+    let at2 = gap(2);
+    let at8 = gap(8);
+    assert!(
+        at8 < at2,
+        "PBPL/Mutex power ratio should shrink with M: {at2:.2} → {at8:.2}"
+    );
+}
+
+#[test]
+fn pathological_traces_run_clean() {
+    let horizon = SimTime::from_millis(100);
+    let cases: Vec<(&str, Vec<SimTime>)> = vec![
+        ("empty", vec![]),
+        ("single", vec![SimTime::from_millis(50)]),
+        (
+            "same-instant burst",
+            vec![SimTime::from_millis(10); 200],
+        ),
+        (
+            "constant",
+            (1..100).map(SimTime::from_millis).collect(),
+        ),
+        (
+            "everything at the end",
+            (0..100)
+                .map(|k| SimTime::from_nanos(99_000_000 + k))
+                .collect(),
+        ),
+    ];
+    for (name, times) in cases {
+        for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+            let trace = Trace::new(times.clone(), horizon);
+            let m = Experiment::builder()
+                .pairs(1)
+                .cores(1)
+                .duration(SimDuration::from_millis(100))
+                .strategy(strategy.clone())
+                .traces(vec![trace])
+                .buffer_capacity(25)
+                .run();
+            assert!(
+                m.all_items_consumed(),
+                "{name} under {}: {} vs {}",
+                strategy.name(),
+                m.items_produced,
+                m.items_consumed
+            );
+        }
+    }
+}
+
+#[test]
+fn producer_stall_and_resume() {
+    // A producer that goes silent mid-run must not wedge PBPL: the
+    // predictor decays and the consumer keeps latching cheaply.
+    let horizon = SimTime::from_millis(300);
+    let mut times: Vec<SimTime> = (0..500u64)
+        .map(|k| SimTime::from_nanos(k * 100_000))
+        .collect(); // 0–50ms busy
+    times.extend((0..500u64).map(|k| SimTime::from_nanos(250_000_000 + k * 80_000))); // resume at 250ms
+    let trace = Trace::new(times, horizon);
+    let m = Experiment::builder()
+        .pairs(1)
+        .cores(1)
+        .duration(SimDuration::from_millis(300))
+        .strategy(StrategyKind::pbpl_default())
+        .traces(vec![trace])
+        .buffer_capacity(25)
+        .run();
+    assert!(m.all_items_consumed());
+    assert_eq!(m.items_produced, 1000);
+}
+
+#[test]
+fn meter_and_energy_agree_on_wakeups() {
+    let m = run(StrategyKind::Bp, 4, 2, 31);
+    let total_wakeups: u64 = m.core_reports.iter().map(|r| r.wakeups).sum();
+    assert_eq!(m.energy.wakeups, total_wakeups);
+    let per_sec = total_wakeups as f64 / m.duration.as_secs_f64();
+    assert!((m.wakeups_per_sec() - per_sec).abs() < 1e-9);
+}
+
+#[test]
+fn menu_governor_never_beats_the_oracle() {
+    // The oracle picks the energy-optimal C-state for each actual idle
+    // interval; a predictive governor can only match or lose.
+    for strategy in [StrategyKind::Mutex, StrategyKind::pbpl_default()] {
+        let run = |gov| {
+            Experiment::builder()
+                .pairs(4)
+                .cores(2)
+                .duration(SimDuration::from_millis(400))
+                .strategy(strategy.clone())
+                .trace(WorldCupConfig::quick_test())
+                .seed(19)
+                .governor(gov)
+                .run()
+        };
+        let oracle = run(GovernorKind::Oracle);
+        let menu = run(GovernorKind::Menu);
+        assert!(
+            menu.energy.energy_j >= oracle.energy.energy_j - 1e-12,
+            "{}: menu {} < oracle {}",
+            strategy.name(),
+            menu.energy.energy_j,
+            oracle.energy.energy_j
+        );
+        // Same behaviour, different accounting: wakeups identical.
+        assert_eq!(menu.energy.wakeups, oracle.energy.wakeups);
+    }
+}
+
+#[test]
+fn per_consumer_latency_bounds_honoured() {
+    // §IV-A: each consumer defines its own maximum response latency;
+    // §V-A: the slot size defaults to the minimum of them. On separate
+    // cores (no latching interaction), a 10ms-bound consumer must see
+    // tight latencies while its 200ms-bound peer batches far longer.
+    // (On a *shared* core the algorithm legitimately couples them: the
+    // loose consumer rides the tight one's wakeups for free.)
+    use pcpower::trace::WorldCupConfig;
+    let m = Experiment::builder()
+        .pairs(2)
+        .cores(2)
+        .duration(SimDuration::from_millis(800))
+        .strategy(StrategyKind::pbpl_default())
+        .trace(WorldCupConfig {
+            mean_rate: 800.0,
+            ..WorldCupConfig::quick_test()
+        })
+        .buffer_capacity(200)
+        .max_latencies(vec![
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(200),
+        ])
+        .seed(23)
+        .run();
+    assert!(m.all_items_consumed());
+    let tight = &m.pairs[0];
+    let loose = &m.pairs[1];
+    // The tight consumer's worst latency respects its bound (slack for
+    // one slot of quantisation + jitter + queueing).
+    assert!(
+        tight.max_latency < SimDuration::from_millis(25),
+        "tight consumer p100 {}",
+        tight.max_latency
+    );
+    // The loose consumer batches far longer.
+    assert!(
+        loose.mean_latency() > tight.mean_latency() * 4,
+        "loose {} vs tight {}",
+        loose.mean_latency(),
+        tight.mean_latency()
+    );
+    // And correspondingly wakes far less often.
+    assert!(
+        loose.invocations * 2 < tight.invocations,
+        "loose {} vs tight {} invocations",
+        loose.invocations,
+        tight.invocations
+    );
+}
+
+#[test]
+#[should_panic(expected = "one latency bound per pair")]
+fn mismatched_latency_count_rejected() {
+    Experiment::builder()
+        .pairs(3)
+        .cores(1)
+        .duration(SimDuration::from_millis(50))
+        .strategy(StrategyKind::pbpl_default())
+        .trace(WorldCupConfig::quick_test())
+        .max_latencies(vec![SimDuration::from_millis(10)])
+        .run();
+}

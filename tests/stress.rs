@@ -1,0 +1,192 @@
+//! Stress and failure-injection tests: extreme configurations the
+//! calibrated experiments never hit must still run clean.
+
+use pcpower::core::{Experiment, PbplConfig, StrategyKind};
+use pcpower::sim::{SimDuration, SimTime};
+use pcpower::trace::{Trace, WorldCupConfig};
+
+#[test]
+fn many_consumers_on_one_core() {
+    // 32 consumers fighting over a single core: heavy slot sharing,
+    // serialised drains, queueing delays.
+    let m = Experiment::builder()
+        .pairs(32)
+        .cores(1)
+        .duration(SimDuration::from_millis(300))
+        .strategy(StrategyKind::pbpl_default())
+        .trace(WorldCupConfig::quick_test())
+        .buffer_capacity(10)
+        .seed(5)
+        .run();
+    assert!(m.all_items_consumed());
+    for r in &m.core_reports {
+        r.validate().unwrap();
+    }
+}
+
+#[test]
+fn tiny_buffers_survive_bursts() {
+    // B = 2: almost every cluster overflows; conservation and timeline
+    // sanity must hold regardless.
+    for strategy in [StrategyKind::Bp, StrategyKind::pbpl_default()] {
+        let m = Experiment::builder()
+            .pairs(4)
+            .cores(2)
+            .duration(SimDuration::from_millis(300))
+            .strategy(strategy.clone())
+            .trace(WorldCupConfig::quick_test())
+            .buffer_capacity(2)
+            .seed(6)
+            .run();
+        assert!(m.all_items_consumed(), "{}", strategy.name());
+        assert!(m.overflow_wakeups() > 0, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn rate_cliff_hundredfold_jump() {
+    // 50 items/s for 150ms, then ~5000/s: the predictor is maximally
+    // wrong at the cliff; overflow handling and upsizing must absorb it.
+    let horizon = SimTime::from_millis(300);
+    let mut times: Vec<SimTime> = (0..8u64).map(|k| SimTime::from_millis(k * 20)).collect();
+    times.extend((0..750u64).map(|k| SimTime::from_nanos(150_000_000 + k * 200_000)));
+    let trace = Trace::new(times, horizon);
+    let m = Experiment::builder()
+        .pairs(1)
+        .cores(1)
+        .duration(SimDuration::from_millis(300))
+        .strategy(StrategyKind::pbpl_default())
+        .traces(vec![trace])
+        .buffer_capacity(25)
+        .run();
+    assert_eq!(m.items_produced, 758);
+    assert!(m.all_items_consumed());
+}
+
+#[test]
+fn slot_larger_than_run() {
+    // A slot size beyond the run length: the initial reservation never
+    // fires; overflow wakes plus the end-of-run flush must still drain
+    // everything.
+    let cfg = PbplConfig {
+        slot: SimDuration::from_secs(10),
+        max_latency: SimDuration::from_secs(40),
+        ..PbplConfig::default()
+    };
+    let m = Experiment::builder()
+        .pairs(2)
+        .cores(1)
+        .duration(SimDuration::from_millis(200))
+        .strategy(StrategyKind::Pbpl(cfg))
+        .trace(WorldCupConfig::quick_test())
+        .buffer_capacity(25)
+        .seed(8)
+        .run();
+    assert!(m.all_items_consumed());
+}
+
+#[test]
+fn one_item_periods() {
+    // Periodic batching with a period shorter than any inter-arrival
+    // gap: every batch is 0 or 1 items; dispatch overhead dominates but
+    // nothing breaks.
+    let m = Experiment::builder()
+        .pairs(2)
+        .cores(2)
+        .duration(SimDuration::from_millis(100))
+        .strategy(StrategyKind::Spbp {
+            period: SimDuration::from_micros(50),
+        })
+        .trace(WorldCupConfig {
+            mean_rate: 200.0,
+            cluster_size_mean: 1.0,
+            ..WorldCupConfig::quick_test()
+        })
+        .buffer_capacity(25)
+        .seed(9)
+        .run();
+    assert!(m.all_items_consumed());
+    assert!(m.scheduled_wakeups() > 1000, "timer must dominate");
+}
+
+#[test]
+fn extreme_pair_count_scales() {
+    // 64 pairs across 8 cores at low rate: exercises per-core manager
+    // independence and round-robin assignment.
+    let m = Experiment::builder()
+        .pairs(64)
+        .cores(8)
+        .duration(SimDuration::from_millis(200))
+        .strategy(StrategyKind::pbpl_default())
+        .trace(WorldCupConfig {
+            mean_rate: 300.0,
+            ..WorldCupConfig::quick_test()
+        })
+        .buffer_capacity(10)
+        .seed(10)
+        .run();
+    assert!(m.all_items_consumed());
+    assert_eq!(m.core_reports.len(), 8);
+    // Every core hosted 8 consumers; all should have woken at least once
+    // given a 200ms run with items on every pair.
+    let active_cores = m
+        .core_reports
+        .iter()
+        .filter(|r| r.wakeups > 0)
+        .count();
+    assert_eq!(active_cores, 8);
+}
+
+#[test]
+fn zero_latency_budget_equivalence() {
+    // max_latency == slot: the consumer may only ever reserve the very
+    // next slot — PBPL degenerates toward fine periodic batching but must
+    // stay correct.
+    let cfg = PbplConfig {
+        slot: SimDuration::from_millis(5),
+        max_latency: SimDuration::from_millis(5),
+        ..PbplConfig::default()
+    };
+    let m = Experiment::builder()
+        .pairs(3)
+        .cores(2)
+        .duration(SimDuration::from_millis(200))
+        .strategy(StrategyKind::Pbpl(cfg))
+        .trace(WorldCupConfig::quick_test())
+        .buffer_capacity(25)
+        .seed(11)
+        .run();
+    assert!(m.all_items_consumed());
+    assert!(
+        m.mean_latency() < SimDuration::from_millis(10),
+        "tight budget must yield tight latency, got {}",
+        m.mean_latency()
+    );
+}
+
+/// Full paper-protocol soak: 50 s, all four evaluated strategies. Run
+/// with `cargo test -- --ignored` (several minutes in debug).
+#[test]
+#[ignore = "multi-minute soak; run explicitly"]
+fn full_protocol_soak() {
+    for strategy in [
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ] {
+        let m = Experiment::builder()
+            .pairs(5)
+            .cores(2)
+            .duration(SimDuration::from_secs(50))
+            .strategy(strategy.clone())
+            .trace(WorldCupConfig::paper_default())
+            .buffer_capacity(25)
+            .seed(1)
+            .run();
+        assert!(m.all_items_consumed(), "{}", strategy.name());
+        for r in &m.core_reports {
+            r.validate().unwrap();
+        }
+    }
+}
