@@ -78,7 +78,10 @@ fn main() {
         &protocol,
         "holt",
         PbplConfig {
-            predictor: PredictorKind::Holt { alpha: 0.5, beta: 0.25 },
+            predictor: PredictorKind::Holt {
+                alpha: 0.5,
+                beta: 0.25,
+            },
             ..PbplConfig::default()
         },
         &mut rows,
@@ -87,10 +90,7 @@ fn main() {
         &protocol,
         "kalman",
         PbplConfig {
-            predictor: PredictorKind::Kalman {
-                q: 4.0e5,
-                r: 4.0e6,
-            },
+            predictor: PredictorKind::Kalman { q: 4.0e5, r: 4.0e6 },
             ..PbplConfig::default()
         },
         &mut rows,
@@ -157,7 +157,11 @@ fn main() {
         let menu = run(GovernorKind::Menu);
         (oracle, menu, pct_change(menu, oracle))
     };
-    for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+    for strategy in [
+        StrategyKind::Mutex,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ] {
         let name = strategy.name();
         let (oracle, menu, pct) = menu_penalty(strategy);
         println!("{name:>6}: oracle {oracle:>7.1} mW  menu {menu:>7.1} mW  penalty {pct:+.1}%");

@@ -55,7 +55,10 @@ fn main() {
     c.check(
         "§III: busy-waiting is the power disaster",
         bw.power_mw.mean > 5.0 * mutex1.power_mw.mean,
-        format!("BW {:.0} mW vs Mutex {:.0} mW", bw.power_mw.mean, mutex1.power_mw.mean),
+        format!(
+            "BW {:.0} mW vs Mutex {:.0} mW",
+            bw.power_mw.mean, mutex1.power_mw.mean
+        ),
     );
     c.check(
         "§III: Yield draws slightly less than BW (DVFS)",
@@ -75,7 +78,10 @@ fn main() {
     c.check(
         "§III: batch processing cuts ≥33% vs Mutex (paper's headline)",
         bp1.power_mw.mean < 0.67 * mutex1.power_mw.mean,
-        format!("{:+.1}%", (bp1.power_mw.mean / mutex1.power_mw.mean - 1.0) * 100.0),
+        format!(
+            "{:+.1}%",
+            (bp1.power_mw.mean / mutex1.power_mw.mean - 1.0) * 100.0
+        ),
     );
     c.check(
         "§III: Sem is marginally cheaper than Mutex",
@@ -138,7 +144,10 @@ fn main() {
     c.check(
         "Fig 9: PBPL cuts ≥20% power vs Mutex (paper: −20%)",
         pbpl.power_mw.mean < 0.8 * mutex.power_mw.mean,
-        format!("{:+.1}%", (pbpl.power_mw.mean / mutex.power_mw.mean - 1.0) * 100.0),
+        format!(
+            "{:+.1}%",
+            (pbpl.power_mw.mean / mutex.power_mw.mean - 1.0) * 100.0
+        ),
     );
     c.check(
         "§VI-C: PBPL converts a large share of BP's overflows into scheduled wakeups",
@@ -175,7 +184,11 @@ fn main() {
     c.check(
         "Fig 11: the BP↔PBPL gap narrows with buffer size",
         (bp100 - pb100).abs() < (bp25 - pb25).abs(),
-        format!("gap {:.1} mW @ B=25 → {:.1} mW @ B=100", bp25 - pb25, bp100 - pb100),
+        format!(
+            "gap {:.1} mW @ B=25 → {:.1} mW @ B=100",
+            bp25 - pb25,
+            bp100 - pb100
+        ),
     );
 
     // ---- §V mechanisms (ablation) ------------------------------------------
@@ -191,7 +204,10 @@ fn main() {
     c.check(
         "§V-A: disabling group latching costs power",
         no_latch.power_mw.mean > pbpl.power_mw.mean,
-        format!("{:.0} > {:.0} mW", no_latch.power_mw.mean, pbpl.power_mw.mean),
+        format!(
+            "{:.0} > {:.0} mW",
+            no_latch.power_mw.mean, pbpl.power_mw.mean
+        ),
     );
 
     println!("\n{} claims passed, {} failed", c.passed, c.failed);

@@ -64,9 +64,18 @@ fn main() {
     let c_us5 = pearson(&us5, &pw5);
 
     println!("=== §III-C correlation analysis ===");
-    println!("corr(wakeups, power), all 7 impls:        {:+.1}%  (paper: −79.6%)", c_all * 100.0);
-    println!("corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)", c_wk5 * 100.0);
-    println!("corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)", c_us5 * 100.0);
+    println!(
+        "corr(wakeups, power), all 7 impls:        {:+.1}%  (paper: −79.6%)",
+        c_all * 100.0
+    );
+    println!(
+        "corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)",
+        c_wk5 * 100.0
+    );
+    println!(
+        "corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)",
+        c_us5 * 100.0
+    );
 
     let test = correlation_significance(&wk5, &pw5, ConfidenceLevel::P99);
     let (significant, t_stat) = test
@@ -74,7 +83,11 @@ fn main() {
         .unwrap_or((false, f64::NAN));
     println!(
         "\nH0: wakeups significantly affect power — {} at 99% (t = {:.2}; paper accepts at 99%)",
-        if significant { "ACCEPTED" } else { "NOT ACCEPTED" },
+        if significant {
+            "ACCEPTED"
+        } else {
+            "NOT ACCEPTED"
+        },
         t_stat
     );
 
@@ -86,7 +99,9 @@ fn main() {
     // usage decorrelates.
     let mut rng = SimRng::new(0xD3);
     let mut noisy = |xs: &[f64], rel: f64| -> Vec<f64> {
-        xs.iter().map(|&x| x + rng.normal(0.0, rel * x.abs().max(1.0))).collect()
+        xs.iter()
+            .map(|&x| x + rng.normal(0.0, rel * x.abs().max(1.0)))
+            .collect()
     };
     let pw5_noisy = noisy(&pw5, 0.08); // ±8% power readout noise
     let wk5_noisy = noisy(&wk5, 0.05); // PowerTop wakeup sampling noise
@@ -94,8 +109,14 @@ fn main() {
     let nc_wk = pearson(&wk5_noisy, &pw5_noisy);
     let nc_us = pearson(&us5_noisy, &pw5_noisy);
     println!("\nwith injected measurement noise (D3 sensitivity):");
-    println!("corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)", nc_wk * 100.0);
-    println!("corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)", nc_us * 100.0);
+    println!(
+        "corr(wakeups, power), idle-based 5:       {:+.1}%  (paper: +74%)",
+        nc_wk * 100.0
+    );
+    println!(
+        "corr(usage,   power), idle-based 5:       {:+.1}%  (paper: +12%)",
+        nc_us * 100.0
+    );
 
     let fit = linear_fit(&wk5, &pw5);
     if let Some(f) = &fit {

@@ -39,7 +39,17 @@ fn main() {
 
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
-        "strat", "power_mW", "wk/s", "usage", "items", "invoc", "sched", "ovfl", "item_wk", "mean_cap", "lat_us"
+        "strat",
+        "power_mW",
+        "wk/s",
+        "usage",
+        "items",
+        "invoc",
+        "sched",
+        "ovfl",
+        "item_wk",
+        "mean_cap",
+        "lat_us"
     );
     for s in strategies {
         let m = Experiment::builder()

@@ -11,7 +11,10 @@
 //!   and ~33% vs Mutex.
 //! * PBP wakes more than SPBP (nanosleep jitter → overflows).
 
-use pc_bench::exp::{pct_change, print_header, print_row, row, save_json, single_pc_strategies, Protocol, Row};
+use pc_bench::exp::{
+    pct_change, print_header, print_row, row, save_json, single_pc_strategies, Protocol, Row,
+};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use pc_core::StrategyKind;
 use pc_sim::SimDuration;
 
@@ -19,12 +22,21 @@ fn main() {
     let protocol = Protocol::from_env();
     let buffer = 50;
     let mean_rate = protocol.trace.mean_rate;
+    let point = GridPoint {
+        pairs: 1,
+        cores: 1,
+        buffer,
+    };
 
-    let mut rows = Vec::new();
-    for strategy in single_pc_strategies(buffer, mean_rate) {
-        let runs = protocol.run(strategy, 1, 1, buffer);
-        rows.push(Row::from_runs(&runs));
-    }
+    let spec = SweepSpec {
+        strategies: single_pc_strategies(buffer, mean_rate),
+        points: vec![point],
+    };
+    let rows: Vec<Row> = run_grouped(&protocol, &spec)
+        .remove(0)
+        .iter()
+        .map(|runs| Row::from_runs(runs))
+        .collect();
 
     print_header("Figure 3 — wakeups/s and usage (ms/s), single pair, 7 implementations");
     for r in &rows {
@@ -48,8 +60,14 @@ fn main() {
 
     println!("\n--- §III headline comparisons (paper: batch ≈ −80% vs BW, ≈ −33% vs Mutex) ---");
     println!("Yield vs BW power:        {:+.1}%", pct_change(yld, bw));
-    println!("best batcher vs BW:       {:+.1}%", pct_change(batch_best, bw));
-    println!("best batcher vs Mutex:    {:+.1}%", pct_change(batch_best, mutex));
+    println!(
+        "best batcher vs BW:       {:+.1}%",
+        pct_change(batch_best, bw)
+    );
+    println!(
+        "best batcher vs Mutex:    {:+.1}%",
+        pct_change(batch_best, mutex)
+    );
     println!("Sem vs Mutex power:       {:+.1}%", pct_change(sem, mutex));
     println!(
         "PBP vs SPBP overflows:    {:.0} vs {:.0}",
@@ -67,21 +85,23 @@ fn main() {
         "{:>9} | {:>22} | {:>22}",
         "period", "PBP ovfl / wk/s", "SPBP ovfl / wk/s"
     );
+    let periods = [27u64, 9, 3];
+    let jitter_spec = SweepSpec {
+        strategies: periods
+            .iter()
+            .flat_map(|&ms| {
+                let period = SimDuration::from_millis(ms);
+                [StrategyKind::Pbp { period }, StrategyKind::Spbp { period }]
+            })
+            .collect(),
+        points: vec![point],
+    };
+    let jitter_runs = run_grouped(&protocol, &jitter_spec).remove(0);
+
     let mut jitter_sweep = Vec::new();
-    for period_ms in [27u64, 9, 3] {
-        let period = SimDuration::from_millis(period_ms);
-        let pbp = Row::from_runs(&protocol.run(
-            StrategyKind::Pbp { period },
-            1,
-            1,
-            buffer,
-        ));
-        let spbp = Row::from_runs(&protocol.run(
-            StrategyKind::Spbp { period },
-            1,
-            1,
-            buffer,
-        ));
+    for (i, &period_ms) in periods.iter().enumerate() {
+        let pbp = Row::from_runs(&jitter_runs[2 * i]);
+        let spbp = Row::from_runs(&jitter_runs[2 * i + 1]);
         println!(
             "{:>6} ms | {:>10.0} / {:>9.1} | {:>10.0} / {:>9.1}",
             period_ms,

@@ -6,18 +6,29 @@
 //! and power by 20% versus Mutex, and wakeups by 37.8% / power by 7.4%
 //! versus plain batch processing.
 
-use pc_bench::exp::{evaluated_strategies, pct_change, print_header, print_row, row, save_json, Protocol, Row};
+use pc_bench::exp::{
+    evaluated_strategies, pct_change, print_header, print_row, row, save_json, Protocol, Row,
+};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use pc_stats::{paired_t_test, ConfidenceLevel};
 
 fn main() {
     let protocol = Protocol::from_env();
     let (pairs, cores, buffer) = (5, 2, 25);
 
-    let mut rows = Vec::new();
-    for strategy in evaluated_strategies() {
-        let runs = protocol.run(strategy, pairs, cores, buffer);
-        rows.push(Row::from_runs(&runs));
-    }
+    let spec = SweepSpec {
+        strategies: evaluated_strategies(),
+        points: vec![GridPoint {
+            pairs,
+            cores,
+            buffer,
+        }],
+    };
+    let rows: Vec<Row> = run_grouped(&protocol, &spec)
+        .remove(0)
+        .iter()
+        .map(|runs| Row::from_runs(runs))
+        .collect();
 
     print_header("Figure 9 — 5 consumers, B = 25, web-log workload with 1/M phase shifts");
     for r in &rows {
@@ -48,7 +59,12 @@ fn main() {
     // the identical trace, so the per-seed power differences carry the
     // signal the overlapping CIs hide at n = 3.
     println!("\n--- paired t-tests on per-seed power (95%) ---");
-    for (a, b) in [("PBPL", "BP"), ("PBPL", "Mutex"), ("BP", "Mutex"), ("Sem", "Mutex")] {
+    for (a, b) in [
+        ("PBPL", "BP"),
+        ("PBPL", "Mutex"),
+        ("BP", "Mutex"),
+        ("Sem", "Mutex"),
+    ] {
         let t = paired_t_test(
             &by(a).power_mw.samples,
             &by(b).power_mw.samples,
@@ -59,7 +75,11 @@ fn main() {
                 "{a} − {b}: mean Δ {:+.1} mW, t = {:+.2} → {}",
                 t.mean_difference,
                 t.t_statistic,
-                if t.significant { "significant" } else { "not significant" }
+                if t.significant {
+                    "significant"
+                } else {
+                    "not significant"
+                }
             ),
             None => println!("{a} − {b}: test undefined"),
         }
@@ -67,11 +87,7 @@ fn main() {
 
     // The figure's visual claim: power ordering follows wakeup ordering.
     let mut by_wakeups: Vec<&Row> = rows.iter().collect();
-    by_wakeups.sort_by(|a, b| {
-        a.wakeups_per_sec
-            .mean
-            .total_cmp(&b.wakeups_per_sec.mean)
-    });
+    by_wakeups.sort_by(|a, b| a.wakeups_per_sec.mean.total_cmp(&b.wakeups_per_sec.mean));
     println!(
         "\nwakeup ordering:  {}",
         by_wakeups

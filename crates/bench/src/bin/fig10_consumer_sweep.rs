@@ -6,7 +6,10 @@
 //! (improvement over Mutex: 7.5%, 20%, 30% at M = 2, 5, 10) because more
 //! consumers mean more latching opportunities.
 
-use pc_bench::exp::{evaluated_strategies, pct_change, print_header, print_row, row, save_json, Protocol, Row};
+use pc_bench::exp::{
+    evaluated_strategies, pct_change, print_header, print_row, row, save_json, Protocol, Row,
+};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,13 +23,25 @@ fn main() {
     let (cores, buffer) = (2, 25);
     let consumer_counts = [2usize, 5, 10];
 
+    let spec = SweepSpec {
+        strategies: evaluated_strategies(),
+        points: consumer_counts
+            .iter()
+            .map(|&pairs| GridPoint {
+                pairs,
+                cores,
+                buffer,
+            })
+            .collect(),
+    };
+    let grouped = run_grouped(&protocol, &spec);
+
     let mut sweep = Vec::new();
-    for &pairs in &consumer_counts {
-        let mut rows = Vec::new();
-        for strategy in evaluated_strategies() {
-            let runs = protocol.run(strategy, pairs, cores, buffer);
-            rows.push(Row::from_runs(&runs));
-        }
+    for (&pairs, by_strategy) in consumer_counts.iter().zip(&grouped) {
+        let rows: Vec<Row> = by_strategy
+            .iter()
+            .map(|runs| Row::from_runs(runs))
+            .collect();
         print_header(&format!("Figure 10 — M = {pairs} consumers, B = 25"));
         for r in &rows {
             print_row(r);
@@ -37,7 +52,9 @@ fn main() {
         });
     }
 
-    println!("\n--- PBPL power improvement over Mutex by consumer count (paper: 7.5%, 20%, 30%) ---");
+    println!(
+        "\n--- PBPL power improvement over Mutex by consumer count (paper: 7.5%, 20%, 30%) ---"
+    );
     for point in &sweep {
         let by = |n: &str| row(&point.rows, n);
         println!(
@@ -53,12 +70,7 @@ fn main() {
     for name in ["Mutex", "Sem", "BP", "PBPL"] {
         let series: Vec<String> = sweep
             .iter()
-            .map(|p| {
-                format!(
-                    "{:.0}",
-                    row(&p.rows, name).power_mw.mean
-                )
-            })
+            .map(|p| format!("{:.0}", row(&p.rows, name).power_mw.mean))
             .collect();
         println!("{name:>6}: {} mW at M = 2/5/10", series.join(" → "));
     }

@@ -5,7 +5,10 @@
 //! implementations (they can buffer more and wake less), and the gap
 //! between PBPL and BP *narrows* with B as both saturate.
 
-use pc_bench::exp::{pct_change, print_header, print_latency_tail, print_row, row, save_json, Protocol, Row};
+use pc_bench::exp::{
+    pct_change, print_header, print_latency_tail, print_row, row, save_json, Protocol, Row,
+};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use pc_core::StrategyKind;
 use serde::Serialize;
 
@@ -20,13 +23,25 @@ fn main() {
     let (pairs, cores) = (5, 2);
     let buffers = [25usize, 50, 100];
 
+    let spec = SweepSpec {
+        strategies: vec![StrategyKind::Bp, StrategyKind::pbpl_default()],
+        points: buffers
+            .iter()
+            .map(|&buffer| GridPoint {
+                pairs,
+                cores,
+                buffer,
+            })
+            .collect(),
+    };
+    let grouped = run_grouped(&protocol, &spec);
+
     let mut sweep = Vec::new();
-    for &buffer in &buffers {
-        let mut rows = Vec::new();
-        for strategy in [StrategyKind::Bp, StrategyKind::pbpl_default()] {
-            let runs = protocol.run(strategy, pairs, cores, buffer);
-            rows.push(Row::from_runs(&runs));
-        }
+    for (&buffer, by_strategy) in buffers.iter().zip(&grouped) {
+        let rows: Vec<Row> = by_strategy
+            .iter()
+            .map(|runs| Row::from_runs(runs))
+            .collect();
         print_header(&format!("Figure 11 — B = {buffer}, M = 5"));
         for r in &rows {
             print_row(r);
@@ -45,7 +60,10 @@ fn main() {
             .iter()
             .map(|p| {
                 let r = row(&p.rows, name);
-                format!("{:.0} mW / {:.0} wk/s", r.power_mw.mean, r.wakeups_per_sec.mean)
+                format!(
+                    "{:.0} mW / {:.0} wk/s",
+                    r.power_mw.mean, r.wakeups_per_sec.mean
+                )
             })
             .collect();
         println!("{name:>5}: {}", series.join("  →  "));

@@ -71,9 +71,15 @@ fn main() {
     let predictors: Vec<(&str, PredictorFactory)> = vec![
         ("MA(h=4)", Box::new(|| Box::new(MovingAverage::new(4, 0.0)))),
         ("MA(h=8)", Box::new(|| Box::new(MovingAverage::new(8, 0.0)))),
-        ("MA(h=16)", Box::new(|| Box::new(MovingAverage::new(16, 0.0)))),
+        (
+            "MA(h=16)",
+            Box::new(|| Box::new(MovingAverage::new(16, 0.0))),
+        ),
         ("EWMA(0.35)", Box::new(|| Box::new(Ewma::new(0.35, 0.0)))),
-        ("Kalman", Box::new(|| Box::new(Kalman::new(4.0e5, 4.0e6, 0.0)))),
+        (
+            "Kalman",
+            Box::new(|| Box::new(Kalman::new(4.0e5, 4.0e6, 0.0))),
+        ),
         ("Holt", Box::new(|| Box::new(Holt::new(0.5, 0.25, 0.0)))),
     ];
 

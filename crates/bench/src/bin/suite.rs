@@ -1,0 +1,372 @@
+//! Unified suite runner — every figure/table experiment in one binary,
+//! executed on the parallel sweep engine.
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin suite -- [--filter SUBSTR]...
+//!     [--threads N] [--list]
+//! ```
+//!
+//! Writes two files under `results/`:
+//!
+//! * `suite.json` — schema-versioned, per-cell metrics with the energy
+//!   reading as raw `f64` bits. **Byte-identical for any `--threads`
+//!   value at the same seed** — the CI determinism gate runs the suite
+//!   twice (`--threads 4`, then `--threads 1`) and fails the build on
+//!   any byte difference. Nothing timing- or thread-dependent may ever
+//!   be added to this file.
+//! * `BENCH_suite.json` — wall-clock per experiment and thread count.
+//!   Timing lives here precisely so it stays *out* of `suite.json`.
+//!
+//! `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED` and `PC_THREADS` apply
+//! as everywhere else; `--threads` overrides `PC_THREADS`.
+
+use pc_bench::exp::{
+    evaluated_strategies, print_header, print_row, save_json, single_pc_strategies, Protocol, Row,
+};
+use pc_bench::sweep::{execute, CellSpec, GridPoint, SweepSpec};
+use pc_core::{PbplConfig, StrategyKind};
+use pc_sim::SimDuration;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One named experiment: a sweep spec under a figure/table name.
+struct ExperimentDef {
+    name: &'static str,
+    spec: SweepSpec,
+}
+
+/// Everything the suite runs, in fixed order.
+fn experiments(protocol: &Protocol) -> Vec<ExperimentDef> {
+    let mean_rate = protocol.trace.mean_rate;
+    let evaluated = evaluated_strategies();
+
+    // Fig. 3/4's seven single-pair strategies, plus the §III-C jitter
+    // sweep (PBP/SPBP with the period tightened toward the nanosleep
+    // jitter scale).
+    let mut single = single_pc_strategies(50, mean_rate);
+    for period_ms in [27u64, 9, 3] {
+        let period = SimDuration::from_millis(period_ms);
+        single.push(StrategyKind::Pbp { period });
+        single.push(StrategyKind::Spbp { period });
+    }
+
+    vec![
+        ExperimentDef {
+            name: "fig03_04_single_pc",
+            spec: SweepSpec {
+                strategies: single,
+                points: vec![GridPoint {
+                    pairs: 1,
+                    cores: 1,
+                    buffer: 50,
+                }],
+            },
+        },
+        ExperimentDef {
+            name: "fig09_five_consumers",
+            spec: SweepSpec {
+                strategies: evaluated.clone(),
+                points: vec![GridPoint {
+                    pairs: 5,
+                    cores: 2,
+                    buffer: 25,
+                }],
+            },
+        },
+        ExperimentDef {
+            name: "fig10_consumer_sweep",
+            spec: SweepSpec {
+                strategies: evaluated,
+                points: [2usize, 5, 10]
+                    .iter()
+                    .map(|&pairs| GridPoint {
+                        pairs,
+                        cores: 2,
+                        buffer: 25,
+                    })
+                    .collect(),
+            },
+        },
+        ExperimentDef {
+            name: "fig11_buffer_sweep",
+            spec: SweepSpec {
+                strategies: vec![StrategyKind::Bp, StrategyKind::pbpl_default()],
+                points: [25usize, 50, 100]
+                    .iter()
+                    .map(|&buffer| GridPoint {
+                        pairs: 5,
+                        cores: 2,
+                        buffer,
+                    })
+                    .collect(),
+            },
+        },
+        ExperimentDef {
+            name: "table_overflows",
+            spec: SweepSpec {
+                strategies: vec![StrategyKind::Bp, StrategyKind::pbpl_default()],
+                points: vec![GridPoint {
+                    pairs: 5,
+                    cores: 2,
+                    buffer: 50,
+                }],
+            },
+        },
+        ExperimentDef {
+            name: "table_buffer_usage",
+            spec: SweepSpec {
+                strategies: vec![
+                    StrategyKind::pbpl_default(),
+                    StrategyKind::Pbpl(PbplConfig {
+                        resizing: false,
+                        ..PbplConfig::default()
+                    }),
+                ],
+                points: vec![GridPoint {
+                    pairs: 5,
+                    cores: 2,
+                    buffer: 50,
+                }],
+            },
+        },
+    ]
+}
+
+/// Display label disambiguating parameterised strategies within an
+/// experiment (periods in µs; fixed-capacity PBPL variant tagged).
+fn strategy_label(strategy: &StrategyKind) -> String {
+    match strategy {
+        StrategyKind::Pbp { period } => format!("PBP@{}us", period.as_nanos() / 1_000),
+        StrategyKind::Spbp { period } => format!("SPBP@{}us", period.as_nanos() / 1_000),
+        StrategyKind::Pbpl(cfg) if !cfg.resizing => "PBPL(fixed)".to_string(),
+        other => other.name().to_string(),
+    }
+}
+
+#[derive(Serialize)]
+struct CellReport {
+    strategy: String,
+    pairs: usize,
+    cores: usize,
+    buffer: usize,
+    seed: u64,
+    /// Raw bits of the energy reading — the exact-equality currency of
+    /// the determinism contract (never compare the float itself).
+    energy_j_bits: u64,
+    energy_j: f64,
+    items_produced: u64,
+    items_consumed: u64,
+    wakeups: u64,
+    scheduled_wakeups: u64,
+    overflow_wakeups: u64,
+    slot_fires: u64,
+    mean_capacity: f64,
+    mean_latency_us: f64,
+}
+
+#[derive(Serialize)]
+struct ExperimentReport {
+    name: String,
+    cells: Vec<CellReport>,
+}
+
+#[derive(Serialize)]
+struct SuiteReport {
+    /// Bump on any change to this file's structure.
+    schema_version: u32,
+    duration_ms: u64,
+    replicates: usize,
+    base_seed: u64,
+    trace_mean_rate: f64,
+    experiments: Vec<ExperimentReport>,
+}
+
+#[derive(Serialize)]
+struct ExperimentTiming {
+    name: String,
+    cells: usize,
+    wall_ms: u64,
+}
+
+#[derive(Serialize)]
+struct SuiteTiming {
+    schema_version: u32,
+    threads: usize,
+    total_wall_ms: u64,
+    experiments: Vec<ExperimentTiming>,
+}
+
+struct Options {
+    filters: Vec<String>,
+    threads: Option<usize>,
+    list: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        filters: Vec::new(),
+        threads: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--filter" => {
+                let value = args.next().unwrap_or_else(|| die("--filter needs a value"));
+                options.filters.push(value);
+            }
+            "--threads" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a value"));
+                let n: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+                options.threads = Some(n);
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: suite [--filter SUBSTR]... [--threads N] [--list]\n\
+                     \n\
+                     Runs every figure/table experiment on the parallel sweep\n\
+                     engine and writes results/suite.json (deterministic) and\n\
+                     results/BENCH_suite.json (timings). --filter keeps only\n\
+                     experiments whose name contains SUBSTR (repeatable, OR).\n\
+                     Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS."
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    options
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("suite: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let options = parse_args();
+    let mut protocol = Protocol::from_env();
+    if let Some(threads) = options.threads {
+        protocol.threads = threads;
+    }
+
+    let selected: Vec<ExperimentDef> = experiments(&protocol)
+        .into_iter()
+        .filter(|e| {
+            options.filters.is_empty()
+                || options.filters.iter().any(|f| e.name.contains(f.as_str()))
+        })
+        .collect();
+
+    if options.list {
+        for e in &selected {
+            println!(
+                "{:<22} {:>3} cells",
+                e.name,
+                e.spec.cells(protocol.replicates).len()
+            );
+        }
+        return;
+    }
+    if selected.is_empty() {
+        die("no experiment matches the given --filter");
+    }
+
+    let duration_ms = protocol.duration.as_nanos() / 1_000_000;
+    println!(
+        "suite: {} experiment(s), {} ms horizon, {} replicate(s), seed {}, {} thread(s)",
+        selected.len(),
+        duration_ms,
+        protocol.replicates,
+        protocol.base_seed,
+        protocol.threads
+    );
+
+    let suite_start = Instant::now();
+    let mut reports = Vec::new();
+    let mut timings = Vec::new();
+    for def in &selected {
+        let cells = def.spec.cells(protocol.replicates);
+        let started = Instant::now();
+        let runs = execute(&protocol, &cells, protocol.threads);
+        let wall_ms = started.elapsed().as_millis() as u64;
+
+        // Per-configuration summary table, replicates grouped in the
+        // engine's canonical cell order.
+        print_header(def.name);
+        for (chunk_index, group) in runs.chunks(protocol.replicates).enumerate() {
+            let cell = &cells[chunk_index * protocol.replicates];
+            let mut row = Row::from_runs(group);
+            row.name = format!(
+                "{} M={} B={}",
+                strategy_label(&cell.strategy),
+                cell.point.pairs,
+                cell.point.buffer
+            );
+            print_row(&row);
+        }
+
+        reports.push(ExperimentReport {
+            name: def.name.to_string(),
+            cells: cells
+                .iter()
+                .zip(&runs)
+                .map(|(cell, m)| cell_report(&protocol, cell, m))
+                .collect(),
+        });
+        timings.push(ExperimentTiming {
+            name: def.name.to_string(),
+            cells: cells.len(),
+            wall_ms,
+        });
+    }
+
+    let report = SuiteReport {
+        schema_version: 1,
+        duration_ms,
+        replicates: protocol.replicates,
+        base_seed: protocol.base_seed,
+        trace_mean_rate: protocol.trace.mean_rate,
+        experiments: reports,
+    };
+    save_json("suite", &report);
+
+    let total_wall_ms = suite_start.elapsed().as_millis() as u64;
+    save_json(
+        "BENCH_suite",
+        &SuiteTiming {
+            schema_version: 1,
+            threads: protocol.threads,
+            total_wall_ms,
+            experiments: timings,
+        },
+    );
+    println!("suite: done in {total_wall_ms} ms");
+}
+
+fn cell_report(protocol: &Protocol, cell: &CellSpec, m: &pc_core::RunMetrics) -> CellReport {
+    CellReport {
+        strategy: strategy_label(&cell.strategy),
+        pairs: cell.point.pairs,
+        cores: cell.point.cores,
+        buffer: cell.point.buffer,
+        seed: protocol.base_seed + cell.replicate as u64,
+        energy_j_bits: m.energy.energy_j.to_bits(),
+        energy_j: m.energy.energy_j,
+        items_produced: m.items_produced,
+        items_consumed: m.items_consumed,
+        wakeups: m.energy.wakeups,
+        scheduled_wakeups: m.scheduled_wakeups(),
+        overflow_wakeups: m.overflow_wakeups(),
+        slot_fires: m.slot_fires,
+        mean_capacity: m.mean_capacity(),
+        mean_latency_us: m.mean_latency().as_secs_f64() * 1e6,
+    }
+}

@@ -6,6 +6,7 @@
 //! production rate, so that they can maintain their latching duties."
 
 use pc_bench::exp::{save_json, Protocol, Row};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use pc_core::{PbplConfig, StrategyKind};
 use serde::Serialize;
 
@@ -24,22 +25,30 @@ fn main() {
     let protocol = Protocol::from_env();
     let (pairs, cores, buffer) = (5, 2, 50);
 
-    let resizing = protocol.run(StrategyKind::pbpl_default(), pairs, cores, buffer);
     let fixed_cfg = PbplConfig {
         resizing: false,
         ..PbplConfig::default()
     };
-    let fixed = protocol.run(StrategyKind::Pbpl(fixed_cfg), pairs, cores, buffer);
+    let spec = SweepSpec {
+        strategies: vec![StrategyKind::pbpl_default(), StrategyKind::Pbpl(fixed_cfg)],
+        points: vec![GridPoint {
+            pairs,
+            cores,
+            buffer,
+        }],
+    };
+    let mut by_strategy = run_grouped(&protocol, &spec).remove(0);
+    let fixed = by_strategy.remove(1);
+    let resizing = by_strategy.remove(0);
 
     let r_res = Row::from_runs(&resizing);
     let r_fix = Row::from_runs(&fixed);
     let mean_batch: f64 = resizing
         .iter()
         .map(|m| {
-            let (items, invocs) = m
-                .pairs
-                .iter()
-                .fold((0u64, 0u64), |(a, b), p| (a + p.occupancy_sum, b + p.samples));
+            let (items, invocs) = m.pairs.iter().fold((0u64, 0u64), |(a, b), p| {
+                (a + p.occupancy_sum, b + p.samples)
+            });
             items as f64 / invocs.max(1) as f64
         })
         .sum::<f64>()

@@ -7,6 +7,7 @@
 //! of BP's overflows that PBPL avoided: 1 − 1626/9290.)
 
 use pc_bench::exp::{save_json, Protocol, Row};
+use pc_bench::sweep::{run_grouped, GridPoint, SweepSpec};
 use pc_core::StrategyKind;
 use serde::Serialize;
 
@@ -24,8 +25,17 @@ fn main() {
     let protocol = Protocol::from_env();
     let (pairs, cores, buffer) = (5, 2, 50);
 
-    let bp_runs = protocol.run(StrategyKind::Bp, pairs, cores, buffer);
-    let pbpl_runs = protocol.run(StrategyKind::pbpl_default(), pairs, cores, buffer);
+    let spec = SweepSpec {
+        strategies: vec![StrategyKind::Bp, StrategyKind::pbpl_default()],
+        points: vec![GridPoint {
+            pairs,
+            cores,
+            buffer,
+        }],
+    };
+    let mut by_strategy = run_grouped(&protocol, &spec).remove(0);
+    let pbpl_runs = by_strategy.remove(1);
+    let bp_runs = by_strategy.remove(0);
     let bp = Row::from_runs(&bp_runs);
     let pbpl = Row::from_runs(&pbpl_runs);
 
@@ -33,11 +43,7 @@ fn main() {
     // The paper's "scheduled wakeups" count CPU wakeups the core manager
     // dispatches — one slot fire can serve a whole latch group, so this
     // is below the per-consumer invocation count.
-    let sched = pbpl_runs
-        .iter()
-        .map(|m| m.slot_fires as f64)
-        .sum::<f64>()
-        / pbpl_runs.len() as f64;
+    let sched = pbpl_runs.iter().map(|m| m.slot_fires as f64).sum::<f64>() / pbpl_runs.len() as f64;
     let over = pbpl.overflows.mean;
     let total_change = (sched + over - bp_over) / bp_over * 100.0;
     let conversion = (1.0 - over / bp_over) * 100.0;

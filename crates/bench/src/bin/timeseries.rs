@@ -65,7 +65,10 @@ fn main() {
         }
         let mean = wakeups.iter().sum::<f64>() / windows.max(1) as f64;
         let peak = wakeups.iter().cloned().fold(0.0, f64::max);
-        println!("{:>6}  mean {:>6.0} wk/s  peak {:>6.0} wk/s", m.strategy, mean, peak);
+        println!(
+            "{:>6}  mean {:>6.0} wk/s  peak {:>6.0} wk/s",
+            m.strategy, mean, peak
+        );
         println!("        {}", sparkline(&wakeups));
         all.push(Series {
             strategy: m.strategy.clone(),

@@ -6,7 +6,7 @@
 //! for each metric. `PC_DURATION_MS`, `PC_REPLICATES` and `PC_SEED`
 //! override the defaults so the full suite can be smoke-tested quickly.
 
-use pc_core::{Experiment, RunMetrics, StrategyKind};
+use pc_core::{RunMetrics, StrategyKind};
 use pc_sim::SimDuration;
 use pc_stats::Summary;
 use pc_trace::WorldCupConfig;
@@ -23,11 +23,14 @@ pub struct Protocol {
     pub base_seed: u64,
     /// Workload configuration.
     pub trace: WorldCupConfig,
+    /// Worker threads for the sweep engine. Thread count never affects
+    /// results (see `sweep`) — only wall-clock time.
+    pub threads: usize,
 }
 
 impl Protocol {
     /// The paper's protocol, with environment overrides:
-    /// `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED`.
+    /// `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED`, `PC_THREADS`.
     pub fn from_env() -> Self {
         let duration_ms = std::env::var("PC_DURATION_MS")
             .ok()
@@ -47,10 +50,13 @@ impl Protocol {
             replicates: replicates.max(1),
             base_seed,
             trace: WorldCupConfig::paper_default(),
+            threads: crate::sweep::threads_from_env(),
         }
     }
 
-    /// Runs one strategy configuration across the replicates.
+    /// Runs one strategy configuration across the replicates — a
+    /// one-point, one-strategy sweep on the parallel engine; replicates
+    /// run concurrently up to `self.threads`, results in replicate order.
     pub fn run(
         &self,
         strategy: StrategyKind,
@@ -58,19 +64,16 @@ impl Protocol {
         cores: usize,
         buffer: usize,
     ) -> Vec<RunMetrics> {
-        (0..self.replicates)
-            .map(|k| {
-                Experiment::builder()
-                    .pairs(pairs)
-                    .cores(cores)
-                    .duration(self.duration)
-                    .strategy(strategy.clone())
-                    .trace(self.trace.clone())
-                    .seed(self.base_seed + k as u64)
-                    .buffer_capacity(buffer)
-                    .run()
-            })
-            .collect()
+        let spec = crate::sweep::SweepSpec {
+            strategies: vec![strategy],
+            points: vec![crate::sweep::GridPoint {
+                pairs,
+                cores,
+                buffer,
+            }],
+        };
+        let cells = spec.cells(self.replicates);
+        crate::sweep::execute(self, &cells, self.threads)
     }
 }
 
@@ -152,7 +155,14 @@ pub fn print_header(title: &str) {
     println!("\n=== {title} ===");
     println!(
         "{:>6} | {:>16} | {:>16} | {:>14} | {:>12} | {:>12} | {:>9} | {:>10}",
-        "impl", "power (mW)", "wakeups/s", "usage (ms/s)", "scheduled", "overflows", "avg buf", "lat (us)"
+        "impl",
+        "power (mW)",
+        "wakeups/s",
+        "usage (ms/s)",
+        "scheduled",
+        "overflows",
+        "avg buf",
+        "lat (us)"
     );
 }
 
@@ -239,6 +249,51 @@ mod tests {
             replicates: 2,
             base_seed: 5,
             trace: WorldCupConfig::quick_test(),
+            threads: 1,
+        }
+    }
+
+    /// `from_env` must fall back to the paper defaults on unparsable or
+    /// out-of-range values rather than panic or silently zero out.
+    /// Env mutation is process-global, so every case lives in this one
+    /// test; the other tests here construct `Protocol` directly.
+    #[test]
+    fn from_env_falls_back_on_bad_values() {
+        let vars = ["PC_DURATION_MS", "PC_REPLICATES", "PC_SEED", "PC_THREADS"];
+        let saved: Vec<Option<String>> = vars.iter().map(|v| std::env::var(v).ok()).collect();
+
+        std::env::set_var("PC_DURATION_MS", "not-a-number");
+        std::env::set_var("PC_REPLICATES", "0");
+        std::env::set_var("PC_SEED", "-3");
+        std::env::set_var("PC_THREADS", "0");
+        let p = Protocol::from_env();
+        assert_eq!(p.duration, SimDuration::from_millis(50_000));
+        assert_eq!(p.replicates, 1, "replicates clamp to at least 1");
+        assert_eq!(p.base_seed, 1, "negative seed falls back to default");
+        assert!(p.threads >= 1, "threads fall back to machine parallelism");
+
+        std::env::set_var("PC_DURATION_MS", "0");
+        assert_eq!(
+            Protocol::from_env().duration,
+            SimDuration::from_millis(50_000),
+            "zero duration rejected"
+        );
+
+        std::env::set_var("PC_DURATION_MS", "1234");
+        std::env::set_var("PC_REPLICATES", "5");
+        std::env::set_var("PC_SEED", "99");
+        std::env::set_var("PC_THREADS", "3");
+        let p = Protocol::from_env();
+        assert_eq!(p.duration, SimDuration::from_millis(1234));
+        assert_eq!(p.replicates, 5);
+        assert_eq!(p.base_seed, 99);
+        assert_eq!(p.threads, 3);
+
+        for (var, value) in vars.iter().zip(saved) {
+            match value {
+                Some(v) => std::env::set_var(var, v),
+                None => std::env::remove_var(var),
+            }
         }
     }
 

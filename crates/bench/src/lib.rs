@@ -8,3 +8,4 @@
 #![warn(rust_2018_idioms)]
 
 pub mod exp;
+pub mod sweep;

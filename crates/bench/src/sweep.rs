@@ -1,0 +1,291 @@
+//! Parallel deterministic sweep engine.
+//!
+//! Every experiment in this crate is a *sweep*: a grid of
+//! (pairs, cores, buffer) points crossed with a strategy list, each
+//! configuration replicated over consecutive seeds. The cells of that
+//! grid are mutually independent simulations, so they can run on any
+//! number of worker threads — but the *output must not depend on the
+//! thread count*. The engine guarantees that by construction:
+//!
+//! * [`SweepSpec::cells`] expands the grid in a fixed, documented order
+//!   (point-major, then strategy, then replicate);
+//! * [`parallel_map`] hands cells to workers through an atomic cursor
+//!   but stores every result in the slot of its *input* index, so the
+//!   collected vector is identical whatever the completion order;
+//! * each cell is a pure function of `(protocol, cell)` — the
+//!   simulation itself is bit-deterministic per seed (see CLAUDE.md).
+//!
+//! The CI determinism gate runs the full suite with `--threads 4` and
+//! `--threads 1` and byte-compares the JSON output; any wall-clock or
+//! thread-count leakage into results is a build failure, not a footnote.
+
+use crate::exp::Protocol;
+use pc_core::{Experiment, RunMetrics, StrategyKind};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One (pairs, cores, buffer) grid point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct GridPoint {
+    /// Producer-consumer pairs (the paper's M).
+    pub pairs: usize,
+    /// Cores available to the consumers.
+    pub cores: usize,
+    /// Per-consumer buffer capacity (the paper's B).
+    pub buffer: usize,
+}
+
+/// A sweep: every strategy at every grid point, replicated.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Strategies to evaluate (inner loop of the expansion).
+    pub strategies: Vec<StrategyKind>,
+    /// Grid points to evaluate them at (outer loop).
+    pub points: Vec<GridPoint>,
+}
+
+/// One independent unit of simulation work: a single replicate of a
+/// single strategy at a single grid point.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Grid point it runs at.
+    pub point: GridPoint,
+    /// Replicate index; the seed is `base_seed + replicate`.
+    pub replicate: usize,
+}
+
+impl SweepSpec {
+    /// Expands the grid into cells in the engine's canonical order:
+    /// point-major, then strategy, then replicate. Consumers regroup by
+    /// walking the same loops (see [`run_grouped`]), so this order is a
+    /// contract, not an implementation detail.
+    pub fn cells(&self, replicates: usize) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.points.len() * self.strategies.len() * replicates);
+        for &point in &self.points {
+            for strategy in &self.strategies {
+                for replicate in 0..replicates {
+                    cells.push(CellSpec {
+                        strategy: strategy.clone(),
+                        point,
+                        replicate,
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Worker-thread count: `PC_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("PC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in *input* order regardless of completion order.
+///
+/// Workers claim items through an atomic cursor (dynamic load balance —
+/// sim cells vary widely in cost) and write each result into the slot
+/// of the item that produced it. With `threads <= 1` the loop runs on
+/// the calling thread; either way the output is identical as long as
+/// `f` is pure.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Runs one cell: a pure function of the protocol and the cell spec.
+pub fn run_cell(protocol: &Protocol, cell: &CellSpec) -> RunMetrics {
+    Experiment::builder()
+        .pairs(cell.point.pairs)
+        .cores(cell.point.cores)
+        .duration(protocol.duration)
+        .strategy(cell.strategy.clone())
+        .trace(protocol.trace.clone())
+        .seed(protocol.base_seed + cell.replicate as u64)
+        .buffer_capacity(cell.point.buffer)
+        .run()
+}
+
+/// Runs `cells` on `threads` workers; results in cell order.
+pub fn execute(protocol: &Protocol, cells: &[CellSpec], threads: usize) -> Vec<RunMetrics> {
+    parallel_map(cells, threads, |cell| run_cell(protocol, cell))
+}
+
+/// Runs a whole spec and regroups the flat cell results back into
+/// `[point][strategy] -> replicate runs`, mirroring [`SweepSpec::cells`].
+pub fn run_grouped(protocol: &Protocol, spec: &SweepSpec) -> Vec<Vec<Vec<RunMetrics>>> {
+    let cells = spec.cells(protocol.replicates);
+    let mut flat = execute(protocol, &cells, protocol.threads).into_iter();
+    spec.points
+        .iter()
+        .map(|_| {
+            spec.strategies
+                .iter()
+                .map(|_| {
+                    (0..protocol.replicates)
+                        .map(|_| flat.next().expect("cell count matches expansion"))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_sim::SimDuration;
+    use pc_trace::WorldCupConfig;
+
+    fn tiny_protocol(threads: usize) -> Protocol {
+        Protocol {
+            duration: SimDuration::from_millis(40),
+            replicates: 2,
+            base_seed: 7,
+            trace: WorldCupConfig::quick_test(),
+            threads,
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_point_major_then_strategy_then_replicate() {
+        let spec = SweepSpec {
+            strategies: vec![StrategyKind::Mutex, StrategyKind::Bp],
+            points: vec![
+                GridPoint {
+                    pairs: 1,
+                    cores: 1,
+                    buffer: 25,
+                },
+                GridPoint {
+                    pairs: 5,
+                    cores: 2,
+                    buffer: 50,
+                },
+            ],
+        };
+        let cells = spec.cells(3);
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        let key: Vec<(usize, &str, usize)> = cells
+            .iter()
+            .map(|c| (c.point.pairs, c.strategy.name(), c.replicate))
+            .collect();
+        assert_eq!(
+            key,
+            vec![
+                (1, "Mutex", 0),
+                (1, "Mutex", 1),
+                (1, "Mutex", 2),
+                (1, "BP", 0),
+                (1, "BP", 1),
+                (1, "BP", 2),
+                (5, "Mutex", 0),
+                (5, "Mutex", 1),
+                (5, "Mutex", 2),
+                (5, "BP", 0),
+                (5, "BP", 1),
+                (5, "BP", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        // Degenerate shapes.
+        assert!(parallel_map(&Vec::<usize>::new(), 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41usize], 16, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_energy_bits() {
+        let spec = SweepSpec {
+            strategies: vec![StrategyKind::Mutex, StrategyKind::pbpl_default()],
+            points: vec![GridPoint {
+                pairs: 2,
+                cores: 2,
+                buffer: 25,
+            }],
+        };
+        let serial = run_grouped(&tiny_protocol(1), &spec);
+        let parallel = run_grouped(&tiny_protocol(4), &spec);
+        for (point_s, point_p) in serial.iter().zip(&parallel) {
+            for (runs_s, runs_p) in point_s.iter().zip(point_p) {
+                for (a, b) in runs_s.iter().zip(runs_p) {
+                    assert_eq!(a.energy.energy_j.to_bits(), b.energy.energy_j.to_bits());
+                    assert_eq!(a.items_consumed, b.items_consumed);
+                    assert_eq!(a.slot_fires, b.slot_fires);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_run_goes_through_the_engine_unchanged() {
+        // Protocol::run is now a one-point, one-strategy sweep; its
+        // results must match running the cell directly.
+        let p = tiny_protocol(2);
+        let runs = p.run(StrategyKind::Bp, 2, 2, 25);
+        assert_eq!(runs.len(), 2);
+        let direct = run_cell(
+            &p,
+            &CellSpec {
+                strategy: StrategyKind::Bp,
+                point: GridPoint {
+                    pairs: 2,
+                    cores: 2,
+                    buffer: 25,
+                },
+                replicate: 1,
+            },
+        );
+        assert_eq!(
+            runs[1].energy.energy_j.to_bits(),
+            direct.energy.energy_j.to_bits()
+        );
+    }
+}

@@ -181,7 +181,10 @@ mod tests {
             PredictorKind::MovingAverage { history: 4 },
             PredictorKind::Ewma { alpha: 0.4 },
             PredictorKind::Kalman { q: 1.0, r: 10.0 },
-            PredictorKind::Holt { alpha: 0.5, beta: 0.2 },
+            PredictorKind::Holt {
+                alpha: 0.5,
+                beta: 0.2,
+            },
         ] {
             let p = kind.build(500.0);
             assert_eq!(p.rate(), 500.0, "prior must flow through");

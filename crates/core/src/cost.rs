@@ -48,7 +48,11 @@ impl CostModel {
         if items <= 0.0 {
             return f64::INFINITY;
         }
-        let w = if needs_wakeup { self.wakeup_energy_j } else { 0.0 };
+        let w = if needs_wakeup {
+            self.wakeup_energy_j
+        } else {
+            0.0
+        };
         (w + self.item_energy_j * items) / items
     }
 }

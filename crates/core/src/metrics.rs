@@ -204,10 +204,9 @@ impl RunMetrics {
 
     /// Mean buffer capacity across pairs, weighted by samples.
     pub fn mean_capacity(&self) -> f64 {
-        let (sum, n) = self
-            .pairs
-            .iter()
-            .fold((0u64, 0u64), |(s, n), p| (s + p.capacity_sum, n + p.samples));
+        let (sum, n) = self.pairs.iter().fold((0u64, 0u64), |(s, n), p| {
+            (s + p.capacity_sum, n + p.samples)
+        });
         if n == 0 {
             0.0
         } else {
@@ -301,8 +300,10 @@ mod tests {
         m.items_consumed = 1000;
         let p50 = m.latency_percentile(50.0).unwrap();
         let p99 = m.latency_percentile(99.0).unwrap();
-        assert!(p50 >= SimDuration::from_micros(400) && p50 <= SimDuration::from_micros(600),
-                "p50 {p50}");
+        assert!(
+            p50 >= SimDuration::from_micros(400) && p50 <= SimDuration::from_micros(600),
+            "p50 {p50}"
+        );
         assert!(p99 >= SimDuration::from_micros(950), "p99 {p99}");
         assert!(p99 <= m.max_latency);
     }

@@ -150,9 +150,7 @@ mod tests {
     #[test]
     fn alignment_zero_when_on_slots() {
         let delta = 1000;
-        let g = move |time: SimTime| {
-            SimTime::from_micros((time.as_nanos() / 1000) / delta * delta)
-        };
+        let g = move |time: SimTime| SimTime::from_micros((time.as_nanos() / 1000) / delta * delta);
         let invs = vec![inv(0, 0, 1), inv(0, 1000, 1), inv(0, 3000, 1)];
         assert_eq!(alignment_objective(&invs, g), SimDuration::ZERO);
     }
@@ -160,9 +158,7 @@ mod tests {
     #[test]
     fn alignment_sums_offsets() {
         let delta = 1000;
-        let g = move |time: SimTime| {
-            SimTime::from_micros((time.as_nanos() / 1000) / delta * delta)
-        };
+        let g = move |time: SimTime| SimTime::from_micros((time.as_nanos() / 1000) / delta * delta);
         let invs = vec![inv(0, 250, 1), inv(0, 1900, 1)];
         assert_eq!(alignment_objective(&invs, g), d(250 + 900));
     }

@@ -370,7 +370,9 @@ mod tests {
 
     #[test]
     fn holt_never_negative_on_downward_ramp() {
-        let down: Vec<f64> = (0..20).map(|k| (2000.0 - 150.0 * k as f64).max(0.0)).collect();
+        let down: Vec<f64> = (0..20)
+            .map(|k| (2000.0 - 150.0 * k as f64).max(0.0))
+            .collect();
         let mut holt = Holt::new(0.6, 0.4, 0.0);
         feed(&mut holt, &down);
         assert!(holt.rate() >= 0.0);

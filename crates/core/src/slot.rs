@@ -159,8 +159,7 @@ mod tests {
 
     #[test]
     fn default_delta_is_min_latency() {
-        let track =
-            SlotTrack::from_max_latencies(&[ms(10), ms(2), ms(5)]);
+        let track = SlotTrack::from_max_latencies(&[ms(10), ms(2), ms(5)]);
         assert_eq!(track.delta(), ms(2));
     }
 

@@ -17,7 +17,9 @@ use crate::manager::CoreManager;
 use crate::metrics::{PairMetrics, RunMetrics};
 use crate::model::PairId;
 use crate::predict::RatePredictor;
-use crate::resize::{overrun_target, plan_resize, predicted_fill as predicted_fill_items, ResizePlan};
+use crate::resize::{
+    overrun_target, plan_resize, predicted_fill as predicted_fill_items, ResizePlan,
+};
 use crate::slot::{SlotIndex, SlotTrack};
 use crate::strategy::{
     batch_work, item_driven_work, MUTEX_SYNC_FACTOR, SEM_SYNC_FACTOR, YIELD_DVFS_FACTOR,
@@ -136,14 +138,21 @@ impl Sim {
     /// Occupies the pair's core for `work`, then records the latencies of
     /// everything staged in `scratch` plus the drain sample. Returns the
     /// span end. Shared tail of every drain path.
-    fn finish_drain(&mut self, i: usize, now: SimTime, work: SimDuration, capacity: usize) -> SimTime {
+    fn finish_drain(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        work: SimDuration,
+        capacity: usize,
+    ) -> SimTime {
         let core = self.pairs[i].core;
         let (_start, end) = self.occupy_core(core, now, work);
         let pair = &mut self.pairs[i];
         for k in 0..self.scratch.len() {
             pair.metrics.record_latency(self.scratch[k], end);
         }
-        pair.metrics.record_drain(self.scratch.len() as u64, capacity);
+        pair.metrics
+            .record_drain(self.scratch.len() as u64, capacity);
         end
     }
 
@@ -229,7 +238,10 @@ impl Sim {
     fn periodic_produce(&mut self, i: usize, t: SimTime) {
         let now = self.engine.now();
         let pair = &mut self.pairs[i];
-        let buffer = pair.buffer.as_mut().expect("periodic strategy has a buffer");
+        let buffer = pair
+            .buffer
+            .as_mut()
+            .expect("periodic strategy has a buffer");
         if let Err(Overflow(item)) = buffer.push(t) {
             // Buffer filled before the period expired: unscheduled wakeup
             // ("it requires logic to handle the overflow of the buffer
@@ -425,7 +437,9 @@ impl Sim {
     /// the future) and lets it shrink toward an empty-buffer prediction,
     /// feeding the pool that bursting neighbours draw on.
     fn pbpl_piggyback(&mut self, core: usize, now: SimTime, exclude: Option<usize>) {
-        let Some(cfg) = self.pbpl_config() else { return };
+        let Some(cfg) = self.pbpl_config() else {
+            return;
+        };
         if !cfg.latching || !cfg.piggyback {
             return;
         }
@@ -435,7 +449,9 @@ impl Sim {
                 continue;
             }
             let pair = &self.pairs[i];
-            let Some(buffer) = pair.buffer.as_ref() else { continue };
+            let Some(buffer) = pair.buffer.as_ref() else {
+                continue;
+            };
             if buffer.len() * 8 < buffer.capacity() {
                 continue; // not enough batched to be worth a dispatch
             }
@@ -466,7 +482,9 @@ impl Sim {
                     self.slot_timer[core] = None;
                     return;
                 }
-                let id = self.engine.schedule_at(fire, Ev::SlotWake { core, slot: w });
+                let id = self
+                    .engine
+                    .schedule_at(fire, Ev::SlotWake { core, slot: w });
                 self.slot_timer[core] = Some((id, w));
             }
             (Some((id, _)), None) => {
@@ -808,8 +826,8 @@ impl ExperimentBuilder {
             .map(|(i, trace)| {
                 let buffer = pool.as_ref().map(|p| {
                     let min_cap = match &pbpl_cfg {
-                        Some(cfg) => ((self.buffer_capacity as f64 * cfg.min_capacity_frac)
-                            .ceil() as usize)
+                        Some(cfg) => ((self.buffer_capacity as f64 * cfg.min_capacity_frac).ceil()
+                            as usize)
                             .clamp(1, self.buffer_capacity),
                         // Fixed-size strategies never resize anyway.
                         None => self.buffer_capacity,
@@ -832,9 +850,7 @@ impl ExperimentBuilder {
                     drain_pending: false,
                     backlog: Vec::new(),
                     buffer,
-                    predictor: pbpl_cfg
-                        .as_ref()
-                        .map(|cfg| cfg.predictor.build(0.0)),
+                    predictor: pbpl_cfg.as_ref().map(|cfg| cfg.predictor.build(0.0)),
                     last_invocation: SimTime::ZERO,
                     periodic_anchor: SimTime::ZERO,
                 }
@@ -946,8 +962,16 @@ mod tests {
     fn busy_wait_profile() {
         let m = quick(StrategyKind::BusyWait);
         // Usage ≈ full (2 cores × 1000 ms/s), wakeups ≈ 0.
-        assert!(m.usage_ms_per_sec() > 1900.0, "usage {}", m.usage_ms_per_sec());
-        assert!(m.wakeups_per_sec() < 20.0, "wakeups {}", m.wakeups_per_sec());
+        assert!(
+            m.usage_ms_per_sec() > 1900.0,
+            "usage {}",
+            m.usage_ms_per_sec()
+        );
+        assert!(
+            m.wakeups_per_sec() < 20.0,
+            "wakeups {}",
+            m.wakeups_per_sec()
+        );
         assert_eq!(m.mean_latency(), SimDuration::ZERO);
     }
 
@@ -967,7 +991,11 @@ mod tests {
     #[test]
     fn batchers_use_less_power_than_busy_wait() {
         let bw = quick(StrategyKind::BusyWait);
-        for s in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+        for s in [
+            StrategyKind::Mutex,
+            StrategyKind::Bp,
+            StrategyKind::pbpl_default(),
+        ] {
             let m = quick(s.clone());
             assert!(
                 m.extra_power_mw() < 0.5 * bw.extra_power_mw(),
@@ -1148,8 +1176,7 @@ mod tests {
         for s in all_strategies() {
             let m = quick(s.clone());
             for r in &m.core_reports {
-                r.validate()
-                    .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+                r.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             }
         }
     }

@@ -112,7 +112,9 @@ pub fn account_core(
             }
             CoreState::Idle => {
                 let idx = governor.select(&model.ladder, iv.len());
-                energy += model.ladder.idle_energy(idx, iv.len(), model.active_power_w);
+                energy += model
+                    .ladder
+                    .idle_energy(idx, iv.len(), model.active_power_w);
                 residency[idx] += iv.len();
             }
         }
@@ -211,9 +213,7 @@ mod tests {
         // deeper C-states ⇒ less idle energy.
         let model = PowerModel::exynos_like();
         // Fragmented: active 100us every 400us (idle gaps 300us → C2).
-        let frag: Vec<(u64, u64)> = (0..2500)
-            .map(|k| (k * 400, k * 400 + 100))
-            .collect();
+        let frag: Vec<(u64, u64)> = (0..2500).map(|k| (k * 400, k * 400 + 100)).collect();
         // Grouped: same active total (250ms) in one span, one huge idle.
         let grouped = run_core(&[(0, 250_000)], 1_000_000);
         let frag = run_core(&frag, 1_000_000);

@@ -116,7 +116,8 @@ impl CStateLadder {
     pub fn idle_energy(&self, index: usize, idle_len: SimDuration, active_power_w: f64) -> f64 {
         let s = &self.states[index];
         let resident = idle_len.saturating_sub(s.transition);
-        resident.as_secs_f64() * s.power_w + s.transition.min(idle_len).as_secs_f64() * active_power_w
+        resident.as_secs_f64() * s.power_w
+            + s.transition.min(idle_len).as_secs_f64() * active_power_w
     }
 }
 

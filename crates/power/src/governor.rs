@@ -191,6 +191,10 @@ mod kind_tests {
         let mut oracle = GovernorKind::Oracle.build();
         let mut menu = GovernorKind::Menu.build();
         assert_eq!(oracle.select(&ladder, SimDuration::from_secs(1)), 2);
-        assert_eq!(menu.select(&ladder, SimDuration::from_secs(1)), 0, "menu starts cold");
+        assert_eq!(
+            menu.select(&ladder, SimDuration::from_secs(1)),
+            0,
+            "menu starts cold"
+        );
     }
 }

@@ -34,8 +34,8 @@ pub mod pstate;
 
 pub use account::{account_core, account_cores, EnergyReport};
 pub use cstate::{CState, CStateLadder};
-pub use governor::{GovernorKind, IdleGovernor, MenuGovernor, OracleGovernor};
 pub use export::{meter_csv, timeline_csv};
+pub use governor::{GovernorKind, IdleGovernor, MenuGovernor, OracleGovernor};
 pub use meter::{Meter, MeterSample};
 pub use model::PowerModel;
 pub use pstate::{fig1_grouping_comparison, PState, PStateTable};

@@ -89,7 +89,11 @@ impl Meter {
             samples.push(MeterSample {
                 start,
                 window: span,
-                wakeups_per_sec: if secs > 0.0 { wakeups as f64 / secs } else { 0.0 },
+                wakeups_per_sec: if secs > 0.0 {
+                    wakeups as f64 / secs
+                } else {
+                    0.0
+                },
                 usage_ms_per_sec: if secs > 0.0 {
                     active.as_secs_f64() * 1e3 / secs
                 } else {
@@ -117,7 +121,11 @@ impl Meter {
         MeterSample {
             start: SimTime::ZERO,
             window: duration,
-            wakeups_per_sec: if secs > 0.0 { wakeups as f64 / secs } else { 0.0 },
+            wakeups_per_sec: if secs > 0.0 {
+                wakeups as f64 / secs
+            } else {
+                0.0
+            },
             usage_ms_per_sec: if secs > 0.0 {
                 active.as_secs_f64() * 1e3 / secs
             } else {

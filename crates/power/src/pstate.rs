@@ -50,7 +50,10 @@ impl PStateTable {
     pub fn new(states: Vec<PState>, capacitance: f64, static_power_w: f64) -> Self {
         assert!(!states.is_empty(), "need at least one P-state");
         for s in &states {
-            assert!(s.freq_hz > 0.0 && s.voltage > 0.0, "P-state must be positive");
+            assert!(
+                s.freq_hz > 0.0 && s.voltage > 0.0,
+                "P-state must be positive"
+            );
         }
         for w in states.windows(2) {
             assert!(
@@ -71,10 +74,26 @@ impl PStateTable {
     pub fn cortex_a15_like() -> Self {
         PStateTable::new(
             vec![
-                PState { name: "P0".into(), freq_hz: 1.6e9, voltage: 1.10 },
-                PState { name: "P1".into(), freq_hz: 1.2e9, voltage: 1.00 },
-                PState { name: "P2".into(), freq_hz: 0.9e9, voltage: 0.92 },
-                PState { name: "P3".into(), freq_hz: 0.6e9, voltage: 0.85 },
+                PState {
+                    name: "P0".into(),
+                    freq_hz: 1.6e9,
+                    voltage: 1.10,
+                },
+                PState {
+                    name: "P1".into(),
+                    freq_hz: 1.2e9,
+                    voltage: 1.00,
+                },
+                PState {
+                    name: "P2".into(),
+                    freq_hz: 0.9e9,
+                    voltage: 0.92,
+                },
+                PState {
+                    name: "P3".into(),
+                    freq_hz: 0.6e9,
+                    voltage: 0.85,
+                },
             ],
             7.0e-10,
             0.25,
@@ -130,7 +149,10 @@ impl PStateTable {
         ladder: &CStateLadder,
     ) -> Option<(usize, f64)> {
         (0..self.states.len())
-            .filter_map(|i| self.window_energy_j(i, cycles, window, ladder).map(|e| (i, e)))
+            .filter_map(|i| {
+                self.window_energy_j(i, cycles, window, ladder)
+                    .map(|e| (i, e))
+            })
             .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
@@ -269,8 +291,16 @@ mod tests {
     fn unordered_states_rejected() {
         PStateTable::new(
             vec![
-                PState { name: "a".into(), freq_hz: 1e9, voltage: 1.0 },
-                PState { name: "b".into(), freq_hz: 2e9, voltage: 1.1 },
+                PState {
+                    name: "a".into(),
+                    freq_hz: 1e9,
+                    voltage: 1.0,
+                },
+                PState {
+                    name: "b".into(),
+                    freq_hz: 2e9,
+                    voltage: 1.1,
+                },
             ],
             1e-9,
             0.1,

@@ -164,7 +164,10 @@ impl<T> ElasticBuffer<T> {
 
     /// Creates a buffer whose capacity never drops below `min_capacity`.
     pub fn with_min(pool: Arc<GlobalPool>, initial: usize, min_capacity: usize) -> Option<Self> {
-        assert!(initial > 0, "elastic buffer initial capacity must be nonzero");
+        assert!(
+            initial > 0,
+            "elastic buffer initial capacity must be nonzero"
+        );
         assert!(
             min_capacity >= 1 && min_capacity <= initial,
             "min capacity must be in 1..=initial"
@@ -218,7 +221,8 @@ impl<T> ElasticBuffer<T> {
             .map(|s| s.len() >= SEGMENT_CAP)
             .unwrap_or(true);
         if need_new_segment {
-            self.segments.push_back(VecDeque::with_capacity(SEGMENT_CAP));
+            self.segments
+                .push_back(VecDeque::with_capacity(SEGMENT_CAP));
         }
         self.segments
             .back_mut()

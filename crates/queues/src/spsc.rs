@@ -305,7 +305,7 @@ mod tests {
                 assert!(p.push(Guard).is_ok());
             }
             drop(c.pop()); // one popped and dropped
-            // p, c dropped here with 4 items inside
+                           // p, c dropped here with 4 items inside
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 5);
     }

@@ -179,10 +179,7 @@ impl NativeHarness {
             clock.wall_deadline(horizon + SimDuration::from_millis(20)),
         );
         stop.store(true, Ordering::SeqCst);
-        let counters: Vec<_> = handles
-            .iter()
-            .map(|h| Arc::clone(&h.counters))
-            .collect();
+        let counters: Vec<_> = handles.iter().map(|h| Arc::clone(&h.counters)).collect();
         for h in handles {
             h.join();
         }
@@ -250,7 +247,11 @@ mod tests {
     #[test]
     fn busy_wait_burns_cpu_without_wakeups() {
         let r = harness(StrategyKind::BusyWait).run();
-        assert!(r.usage_ms_per_sec() > 1500.0, "usage {}", r.usage_ms_per_sec());
+        assert!(
+            r.usage_ms_per_sec() > 1500.0,
+            "usage {}",
+            r.usage_ms_per_sec()
+        );
         let wakeups: u64 = r.pairs.iter().map(|p| p.wakeups).sum();
         assert_eq!(wakeups, 0);
     }

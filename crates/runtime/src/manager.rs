@@ -14,10 +14,10 @@ use parking_lot::{Condvar, Mutex};
 use pc_core::{CoreManager, PairId, SlotTrack};
 use pc_queues::{ElasticBuffer, Semaphore};
 use std::collections::HashMap;
-use std::time::Instant;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use std::time::Instant;
 
 struct State {
     book: CoreManager,
@@ -109,17 +109,11 @@ impl NativeCoreManager {
             match st.book.first_reserved() {
                 None => {
                     // Nothing reserved: doze until a reservation arrives.
-                    self.nudge
-                        .wait_for(&mut st, Duration::from_millis(20));
+                    self.nudge.wait_for(&mut st, Duration::from_millis(20));
                 }
                 Some(slot) => {
-                    let deadline = self
-                        .clock
-                        .wall_deadline(st.book.track().slot_start(slot));
-                    let timed_out = self
-                        .nudge
-                        .wait_until(&mut st, deadline)
-                        .timed_out();
+                    let deadline = self.clock.wall_deadline(st.book.track().slot_start(slot));
+                    let timed_out = self.nudge.wait_until(&mut st, deadline).timed_out();
                     if !timed_out {
                         // Nudged: a new (possibly earlier) reservation or
                         // shutdown; re-evaluate.
@@ -264,7 +258,9 @@ mod tests {
             let mgr = Arc::clone(&mgr);
             thread::spawn(move || mgr.run())
         };
-        assert!(due_sem.acquire_timeout(Duration::from_millis(500)).is_some());
+        assert!(due_sem
+            .acquire_timeout(Duration::from_millis(500))
+            .is_some());
         assert!(
             neighbour_sem
                 .acquire_timeout(Duration::from_millis(100))
@@ -294,7 +290,9 @@ mod tests {
             let mgr = Arc::clone(&mgr);
             thread::spawn(move || mgr.run())
         };
-        assert!(due_sem.acquire_timeout(Duration::from_millis(500)).is_some());
+        assert!(due_sem
+            .acquire_timeout(Duration::from_millis(500))
+            .is_some());
         assert!(
             neighbour_sem
                 .acquire_timeout(Duration::from_millis(50))

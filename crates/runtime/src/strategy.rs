@@ -15,7 +15,7 @@ use pc_core::resize::{plan_resize, predicted_fill, ResizePlan};
 use pc_core::{select_slot, CostModel, PairId, PbplConfig, RatePredictor};
 use pc_queues::elastic::Overflow;
 use pc_queues::semqueue::SemQueueConsumer;
-use pc_queues::{spsc_ring, ElasticBuffer, GlobalPool, MutexQueue, Semaphore, SemQueue};
+use pc_queues::{spsc_ring, ElasticBuffer, GlobalPool, MutexQueue, SemQueue, Semaphore};
 use pc_sim::SimTime;
 use pc_trace::Trace;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -99,14 +99,20 @@ pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
     // timing honest.
     let (p, c) = spsc_ring::<Instant>(ctx.capacity.max(1024));
     let stop = Arc::clone(&ctx.stop);
-    let producer = spawn_producer(ctx.trace, ctx.clock, Arc::clone(&stop), Arc::clone(&counters), move |at| {
-        // Spin until space; the consumer spins too, so space appears fast.
-        let mut v = at;
-        while let Err(back) = p.push(v) {
-            v = back;
-            std::hint::spin_loop();
-        }
-    });
+    let producer = spawn_producer(
+        ctx.trace,
+        ctx.clock,
+        Arc::clone(&stop),
+        Arc::clone(&counters),
+        move |at| {
+            // Spin until space; the consumer spins too, so space appears fast.
+            let mut v = at;
+            while let Err(back) = p.push(v) {
+                v = back;
+                std::hint::spin_loop();
+            }
+        },
+    );
     let ccount = Arc::clone(&counters);
     let cstop = Arc::clone(&stop);
     let consumer = thread::spawn(move || {
@@ -436,11 +442,14 @@ pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairH
 /// prediction, ρ-driven slot reservation through the core manager.
 pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
     let cfg = ctx.pbpl.clone().expect("PBPL context requires a config");
-    let manager = ctx.manager.clone().expect("PBPL context requires a manager");
+    let manager = ctx
+        .manager
+        .clone()
+        .expect("PBPL context requires a manager");
     let pool = ctx.pool.clone().expect("PBPL context requires a pool");
     let counters = Arc::new(PairCounters::new());
-    let min_cap = ((ctx.capacity as f64 * cfg.min_capacity_frac).ceil() as usize)
-        .clamp(1, ctx.capacity);
+    let min_cap =
+        ((ctx.capacity as f64 * cfg.min_capacity_frac).ceil() as usize).clamp(1, ctx.capacity);
     let buffer = Arc::new(Mutex::new(
         ElasticBuffer::<Instant>::with_min(pool, ctx.capacity, min_cap)
             .expect("pool covers base reservations"),

@@ -264,7 +264,10 @@ impl CoreReport {
         let mut active = SimDuration::ZERO;
         for iv in &self.timeline {
             if iv.start != cursor {
-                return Err(format!("gap at {cursor}: next interval starts {}", iv.start));
+                return Err(format!(
+                    "gap at {cursor}: next interval starts {}",
+                    iv.start
+                ));
             }
             if iv.is_empty() {
                 return Err(format!("empty interval at {}", iv.start));
@@ -276,7 +279,9 @@ impl CoreReport {
         }
         let expected_end = SimTime::ZERO + self.duration;
         if cursor != expected_end {
-            return Err(format!("timeline ends at {cursor}, run ends at {expected_end}"));
+            return Err(format!(
+                "timeline ends at {cursor}, run ends at {expected_end}"
+            ));
         }
         if active != self.active_time {
             return Err(format!(

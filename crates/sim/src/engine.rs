@@ -67,7 +67,11 @@ impl<E> Engine<E> {
     /// event fires "now" (the queue clamps nothing, but the pop loop
     /// processes it immediately, preserving run-to-completion semantics).
     pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, ev)
     }
 

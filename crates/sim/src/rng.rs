@@ -41,7 +41,10 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        SimRng { s, spare_normal: None }
+        SimRng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derives a child generator; used to give each producer its own
@@ -54,10 +57,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -186,7 +186,11 @@ mod tests {
         let rate = 4.0;
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean} vs {}", 1.0 / rate);
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "mean {mean} vs {}",
+            1.0 / rate
+        );
     }
 
     #[test]

@@ -13,11 +13,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant on the simulated timeline, in nanoseconds since the
 /// start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -74,7 +78,10 @@ impl SimTime {
     /// `self - earlier`, panicking on underflow in debug builds.
     #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(self >= earlier, "SimTime::since underflow: {self} < {earlier}");
+        debug_assert!(
+            self >= earlier,
+            "SimTime::since underflow: {self} < {earlier}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 
@@ -278,7 +285,11 @@ impl Mul<u64> for SimDuration {
     /// silently corrupt a simulation).
     #[inline]
     fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(k).expect("SimDuration multiply overflow"))
+        SimDuration(
+            self.0
+                .checked_mul(k)
+                .expect("SimDuration multiply overflow"),
+        )
     }
 }
 

@@ -186,10 +186,7 @@ mod tests {
         let mut rng = SimRng::new(6);
         let d = SimDuration::from_micros(4);
         let m = TimerModel::Uniform { lo: d, hi: d };
-        assert_eq!(
-            m.fire_time(SimTime::ZERO, &mut rng),
-            SimTime::ZERO + d
-        );
+        assert_eq!(m.fire_time(SimTime::ZERO, &mut rng), SimTime::ZERO + d);
     }
 
     #[test]

@@ -22,23 +22,77 @@ pub enum ConfidenceLevel {
 /// Two-sided Student-t critical values, indexed by degrees of freedom.
 /// Rows: df 1..=30, then 40, 60, 120, ∞.
 const T_95: [(u32, f64); 34] = [
-    (1, 12.706), (2, 4.303), (3, 3.182), (4, 2.776), (5, 2.571),
-    (6, 2.447), (7, 2.365), (8, 2.306), (9, 2.262), (10, 2.228),
-    (11, 2.201), (12, 2.179), (13, 2.160), (14, 2.145), (15, 2.131),
-    (16, 2.120), (17, 2.110), (18, 2.101), (19, 2.093), (20, 2.086),
-    (21, 2.080), (22, 2.074), (23, 2.069), (24, 2.064), (25, 2.060),
-    (26, 2.056), (27, 2.052), (28, 2.048), (29, 2.045), (30, 2.042),
-    (40, 2.021), (60, 2.000), (120, 1.980), (u32::MAX, 1.960),
+    (1, 12.706),
+    (2, 4.303),
+    (3, 3.182),
+    (4, 2.776),
+    (5, 2.571),
+    (6, 2.447),
+    (7, 2.365),
+    (8, 2.306),
+    (9, 2.262),
+    (10, 2.228),
+    (11, 2.201),
+    (12, 2.179),
+    (13, 2.160),
+    (14, 2.145),
+    (15, 2.131),
+    (16, 2.120),
+    (17, 2.110),
+    (18, 2.101),
+    (19, 2.093),
+    (20, 2.086),
+    (21, 2.080),
+    (22, 2.074),
+    (23, 2.069),
+    (24, 2.064),
+    (25, 2.060),
+    (26, 2.056),
+    (27, 2.052),
+    (28, 2.048),
+    (29, 2.045),
+    (30, 2.042),
+    (40, 2.021),
+    (60, 2.000),
+    (120, 1.980),
+    (u32::MAX, 1.960),
 ];
 
 const T_99: [(u32, f64); 34] = [
-    (1, 63.657), (2, 9.925), (3, 5.841), (4, 4.604), (5, 4.032),
-    (6, 3.707), (7, 3.499), (8, 3.355), (9, 3.250), (10, 3.169),
-    (11, 3.106), (12, 3.055), (13, 3.012), (14, 2.977), (15, 2.947),
-    (16, 2.921), (17, 2.898), (18, 2.878), (19, 2.861), (20, 2.845),
-    (21, 2.831), (22, 2.819), (23, 2.807), (24, 2.797), (25, 2.787),
-    (26, 2.779), (27, 2.771), (28, 2.763), (29, 2.756), (30, 2.750),
-    (40, 2.704), (60, 2.660), (120, 2.617), (u32::MAX, 2.576),
+    (1, 63.657),
+    (2, 9.925),
+    (3, 5.841),
+    (4, 4.604),
+    (5, 4.032),
+    (6, 3.707),
+    (7, 3.499),
+    (8, 3.355),
+    (9, 3.250),
+    (10, 3.169),
+    (11, 3.106),
+    (12, 3.055),
+    (13, 3.012),
+    (14, 2.977),
+    (15, 2.947),
+    (16, 2.921),
+    (17, 2.898),
+    (18, 2.878),
+    (19, 2.861),
+    (20, 2.845),
+    (21, 2.831),
+    (22, 2.819),
+    (23, 2.807),
+    (24, 2.797),
+    (25, 2.787),
+    (26, 2.779),
+    (27, 2.771),
+    (28, 2.763),
+    (29, 2.756),
+    (30, 2.750),
+    (40, 2.704),
+    (60, 2.660),
+    (120, 2.617),
+    (u32::MAX, 2.576),
 ];
 
 /// The two-sided Student-t critical value for the given degrees of freedom.

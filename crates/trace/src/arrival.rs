@@ -73,8 +73,8 @@ impl PoissonProcess {
 
 impl ArrivalProcess for PoissonProcess {
     fn next_arrival(&mut self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
-        let gap = SimDuration::from_secs_f64(rng.exponential(self.rate))
-            .max(SimDuration::from_nanos(1));
+        let gap =
+            SimDuration::from_secs_f64(rng.exponential(self.rate)).max(SimDuration::from_nanos(1));
         now.checked_add(gap)
     }
 }

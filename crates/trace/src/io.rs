@@ -89,7 +89,9 @@ pub fn parse_common_log<R: BufRead>(reader: R) -> Result<Vec<f64>, LoadError> {
         }
         let h: f64 = hms[0].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
         let m: f64 = hms[1].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
-        let s: f64 = hms[2][..2].parse().map_err(|_| LoadError::BadLine(idx + 1))?;
+        let s: f64 = hms[2][..2]
+            .parse()
+            .map_err(|_| LoadError::BadLine(idx + 1))?;
         if last_day_key.as_deref() != Some(day_key.as_str()) {
             if last_day_key.is_some() {
                 day_index += 1;
@@ -147,10 +149,7 @@ pub fn to_trace(raw_seconds: &[f64], opts: &ReplayOptions) -> Result<Trace, Load
     let span = secs.last().expect("non-empty").max(1e-9);
     let (scale, horizon) = match opts.compress_to {
         Some(h) => (h.as_secs_f64() / (span + 1e-9), h),
-        None => (
-            1.0,
-            SimDuration::from_secs_f64(span + 1.0),
-        ),
+        None => (1.0, SimDuration::from_secs_f64(span + 1.0)),
     };
     let horizon_t = SimTime::ZERO + horizon;
     // Equal timestamps are legal in a Trace (simultaneous requests are a
@@ -253,10 +252,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spread.len(), 50);
-        let distinct_gaps = spread
-            .interarrivals()
-            .filter(|g| !g.is_zero())
-            .count();
+        let distinct_gaps = spread.interarrivals().filter(|g| !g.is_zero()).count();
         assert!(distinct_gaps > 40, "{distinct_gaps}");
     }
 

@@ -178,10 +178,7 @@ mod tests {
         let shifted = tr.phase_shift(0.5);
         // Items ≥ 500ms (700, 900) move to 200, 400; items < 500ms wrap
         // to 600, 700, 750.
-        assert_eq!(
-            shifted.times(),
-            &[t(200), t(400), t(600), t(700), t(750)]
-        );
+        assert_eq!(shifted.times(), &[t(200), t(400), t(600), t(700), t(750)]);
     }
 
     #[test]

@@ -131,8 +131,7 @@ impl WorldCupConfig {
         let shape = |t: f64, modulation_factor: f64| -> f64 {
             let phase = 2.0 * std::f64::consts::PI * self.diurnal_cycles * t / horizon_s;
             // Oscillates between 1 and `diurnal_swing`.
-            let diurnal =
-                1.0 + (self.diurnal_swing - 1.0) * 0.5 * (1.0 + phase.sin());
+            let diurnal = 1.0 + (self.diurnal_swing - 1.0) * 0.5 * (1.0 + phase.sin());
             let mut burst_factor = 1.0;
             for &(at, amp) in &bursts {
                 if t >= at {

@@ -35,7 +35,9 @@ fn packet_trace() -> WorldCupConfig {
 }
 
 fn main() {
-    println!("NIC RX path: 4 queues, 2 CPUs, 10 s, ~400 pkt/s/queue idle with 12x page-load bursts\n");
+    println!(
+        "NIC RX path: 4 queues, 2 CPUs, 10 s, ~400 pkt/s/queue idle with 12x page-load bursts\n"
+    );
     let run = |strategy: StrategyKind| {
         Experiment::builder()
             .pairs(4) // RX queues
@@ -80,10 +82,7 @@ fn main() {
             m.extra_power_mw(),
             m.wakeups_per_sec(),
             format!("{}", m.mean_latency()),
-            format!(
-                "{}",
-                m.latency_percentile(99.0).unwrap_or_default()
-            ),
+            format!("{}", m.latency_percentile(99.0).unwrap_or_default()),
         );
         assert!(m.all_items_consumed());
         results.push((label, m));

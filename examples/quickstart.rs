@@ -59,6 +59,8 @@ fn main() {
     );
 
     let saving = (1.0 - pbpl.extra_power_mw() / mutex.extra_power_mw()) * 100.0;
-    println!("\nPBPL saves {saving:.1}% power by batching work into shared, predicted CPU wakeups.");
+    println!(
+        "\nPBPL saves {saving:.1}% power by batching work into shared, predicted CPU wakeups."
+    );
     assert!(pbpl.extra_power_mw() < mutex.extra_power_mw());
 }

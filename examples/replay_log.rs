@@ -60,7 +60,10 @@ fn main() {
         trace.mean_rate()
     );
 
-    println!("{:>6} | {:>10} | {:>11} | {:>11}", "impl", "power mW", "wakeups/s", "mean lat");
+    println!(
+        "{:>6} | {:>10} | {:>11} | {:>11}",
+        "impl", "power mW", "wakeups/s", "mean lat"
+    );
     for strategy in [
         StrategyKind::Mutex,
         StrategyKind::Bp,

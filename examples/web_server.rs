@@ -75,12 +75,7 @@ fn main() {
     println!("\nPBPL per-shard mean buffer allocation (B0 = 50, pool = 400):");
     for p in &pbpl.pairs {
         let bar = "#".repeat((p.mean_capacity() / 2.0) as usize);
-        println!(
-            "shard {:>2}: {:>5.1}  {}",
-            p.pair.0,
-            p.mean_capacity(),
-            bar
-        );
+        println!("shard {:>2}: {:>5.1}  {}", p.pair.0, p.mean_capacity(), bar);
     }
     let spread = pbpl
         .pairs

@@ -1,0 +1,172 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! Provides the API surface the workspace benches use and actually
+//! times the closures (median of `sample_size` samples, one warm-up),
+//! printing one line per benchmark. No statistical analysis, HTML
+//! reports, or regression detection — this exists so `cargo bench`
+//! still measures something useful without the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, 20, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for per-element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        run_bench(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.0);
+        run_bench(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `f`, recording the sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size + 1),
+    };
+    // One warm-up sample, discarded.
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples: closure never called iter)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<50} median {median:>12.3?}{rate}");
+}
+
+/// Groups benchmark functions into a runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `crossbeam` (see `shims/README.md`). Only the
+//! piece this workspace uses: `utils::CachePadded`.
+
+/// Utilities (mirror of `crossbeam::utils`).
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes so neighbouring fields land
+    /// on distinct cache lines (two prefetched 64-byte lines on x86-64,
+    /// one 128-byte line on apple-silicon class ARM).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}

@@ -98,9 +98,6 @@ fn objective_is_additive_across_cores() {
     // Folded onto one core, the simultaneous invocations overlap and
     // merge — cross-core wakeups never merge, same-core ones do. That
     // asymmetry is exactly why consumers latch per core.
-    let single: Vec<Invocation> = invs
-        .iter()
-        .map(|i| Invocation { core: 0, ..*i })
-        .collect();
+    let single: Vec<Invocation> = invs.iter().map(|i| Invocation { core: 0, ..*i }).collect();
     assert_eq!(wakeup_objective(&single, 1), 2);
 }

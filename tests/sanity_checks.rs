@@ -72,7 +72,11 @@ fn idle_system_is_the_power_floor() {
     // An idle PBPL system still takes its latency-bound peeks, so the
     // floor is near — but not exactly — zero.
     assert!(floor < 10.0, "idle floor {floor:.2} mW");
-    for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+    for strategy in [
+        StrategyKind::Mutex,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+    ] {
         let p = run(strategy.clone(), 1).extra_power_mw();
         assert!(
             p > floor,
@@ -117,7 +121,9 @@ fn power_scales_with_active_cores() {
 #[test]
 fn replicate_spread_below_strategy_gaps() {
     let reps = |s: StrategyKind| -> Vec<f64> {
-        (0..3).map(|k| run(s.clone(), 10 + k).extra_power_mw()).collect()
+        (0..3)
+            .map(|k| run(s.clone(), 10 + k).extra_power_mw())
+            .collect()
     };
     let mutex = reps(StrategyKind::Mutex);
     let bp = reps(StrategyKind::Bp);

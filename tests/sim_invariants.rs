@@ -165,14 +165,8 @@ fn pathological_traces_run_clean() {
     let cases: Vec<(&str, Vec<SimTime>)> = vec![
         ("empty", vec![]),
         ("single", vec![SimTime::from_millis(50)]),
-        (
-            "same-instant burst",
-            vec![SimTime::from_millis(10); 200],
-        ),
-        (
-            "constant",
-            (1..100).map(SimTime::from_millis).collect(),
-        ),
+        ("same-instant burst", vec![SimTime::from_millis(10); 200]),
+        ("constant", (1..100).map(SimTime::from_millis).collect()),
         (
             "everything at the end",
             (0..100)
@@ -181,7 +175,11 @@ fn pathological_traces_run_clean() {
         ),
     ];
     for (name, times) in cases {
-        for strategy in [StrategyKind::Mutex, StrategyKind::Bp, StrategyKind::pbpl_default()] {
+        for strategy in [
+            StrategyKind::Mutex,
+            StrategyKind::Bp,
+            StrategyKind::pbpl_default(),
+        ] {
             let trace = Trace::new(times.clone(), horizon);
             let m = Experiment::builder()
                 .pairs(1)

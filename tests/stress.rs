@@ -129,11 +129,7 @@ fn extreme_pair_count_scales() {
     assert_eq!(m.core_reports.len(), 8);
     // Every core hosted 8 consumers; all should have woken at least once
     // given a 200ms run with items on every pair.
-    let active_cores = m
-        .core_reports
-        .iter()
-        .filter(|r| r.wakeups > 0)
-        .count();
+    let active_cores = m.core_reports.iter().filter(|r| r.wakeups > 0).count();
     assert_eq!(active_cores, 8);
 }
 
