@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p pc-bench --bin suite -- [--filter SUBSTR]...
-//!     [--threads N] [--list]
+//!     [--threads N] [--trace] [--list]
 //! ```
 //!
 //! Writes two files under `results/`:
@@ -17,16 +17,28 @@
 //! * `BENCH_suite.json` — wall-clock per experiment and thread count.
 //!   Timing lives here precisely so it stays *out* of `suite.json`.
 //!
-//! `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED` and `PC_THREADS` apply
-//! as everywhere else; `--threads` overrides `PC_THREADS`.
+//! With `--trace`, every cell additionally records a structured event
+//! trace: the streams are exported to `results/suite_trace.jsonl` (a
+//! `CellMeta` header line then the cell's events, in canonical cell
+//! order — thread-count independent like everything else) and each cell
+//! is checked by the replay oracle (`pc_bench::oracle`); any violation
+//! fails the run. Recording is purely observational, so `suite.json` is
+//! byte-identical with and without `--trace` — the determinism gate
+//! checks that too.
+//!
+//! `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED`, `PC_THREADS` and
+//! `PC_TRACE_CAP` apply as everywhere else; `--threads` overrides
+//! `PC_THREADS`.
 
 use pc_bench::exp::{
     evaluated_strategies, print_header, print_row, save_json, single_pc_strategies, Protocol, Row,
 };
-use pc_bench::sweep::{execute, CellSpec, GridPoint, SweepSpec};
+use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_bench::sweep::{execute, execute_traced, CellSpec, GridPoint, SweepSpec};
 use pc_core::{PbplConfig, StrategyKind};
 use pc_sim::SimDuration;
 use serde::Serialize;
+use std::io::Write;
 use std::time::Instant;
 
 /// One named experiment: a sweep spec under a figure/table name.
@@ -199,6 +211,7 @@ struct SuiteTiming {
 struct Options {
     filters: Vec<String>,
     threads: Option<usize>,
+    trace: bool,
     list: bool,
 }
 
@@ -206,6 +219,7 @@ fn parse_args() -> Options {
     let mut options = Options {
         filters: Vec::new(),
         threads: None,
+        trace: false,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -226,16 +240,21 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--threads needs a positive integer"));
                 options.threads = Some(n);
             }
+            "--trace" => options.trace = true,
             "--list" => options.list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: suite [--filter SUBSTR]... [--threads N] [--list]\n\
+                    "usage: suite [--filter SUBSTR]... [--threads N] [--trace] [--list]\n\
                      \n\
                      Runs every figure/table experiment on the parallel sweep\n\
                      engine and writes results/suite.json (deterministic) and\n\
                      results/BENCH_suite.json (timings). --filter keeps only\n\
                      experiments whose name contains SUBSTR (repeatable, OR).\n\
-                     Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS."
+                     --trace records per-cell event streams, replays the\n\
+                     oracle over each (violations fail the run) and exports\n\
+                     results/suite_trace.jsonl; suite.json is unaffected.\n\
+                     Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS,\n\
+                     PC_TRACE_CAP."
                 );
                 std::process::exit(0);
             }
@@ -289,14 +308,72 @@ fn main() {
         protocol.threads
     );
 
+    // JSONL trace export, opened up front so an unwritable results dir
+    // fails before an hour of simulation, written incrementally in the
+    // engine's canonical cell order (thread-count independent).
+    let mut trace_out = if options.trace {
+        std::fs::create_dir_all("results")
+            .unwrap_or_else(|e| die(&format!("cannot create results dir: {e}")));
+        let path = std::path::Path::new("results").join("suite_trace.jsonl");
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        Some((path, std::io::BufWriter::new(file)))
+    } else {
+        None
+    };
+    let mut oracle_failures: Vec<String> = Vec::new();
+    let mut traced_events: u64 = 0;
+
     let suite_start = Instant::now();
     let mut reports = Vec::new();
     let mut timings = Vec::new();
     for def in &selected {
         let cells = def.spec.cells(protocol.replicates);
         let started = Instant::now();
-        let runs = execute(&protocol, &cells, protocol.threads);
+        let (runs, logs) = if options.trace {
+            let traced = execute_traced(&protocol, &cells, protocol.threads);
+            let mut runs = Vec::with_capacity(traced.len());
+            let mut logs = Vec::with_capacity(traced.len());
+            for (m, log) in traced {
+                runs.push(m);
+                logs.push(log);
+            }
+            (runs, logs)
+        } else {
+            (execute(&protocol, &cells, protocol.threads), Vec::new())
+        };
         let wall_ms = started.elapsed().as_millis() as u64;
+
+        if let Some((path, out)) = trace_out.as_mut() {
+            for (cell, log) in cells.iter().zip(&logs) {
+                let meta = CellMeta {
+                    experiment: def.name.to_string(),
+                    strategy: strategy_label(&cell.strategy),
+                    pairs: cell.point.pairs as u64,
+                    cores: cell.point.cores as u64,
+                    buffer: cell.point.buffer as u64,
+                    seed: protocol.base_seed + cell.replicate as u64,
+                    events: log.events.len() as u64,
+                    dropped: log.dropped,
+                    digest: log.digest(),
+                };
+                let label = format!(
+                    "{} {} M={} B={} seed={}",
+                    def.name, meta.strategy, meta.pairs, meta.buffer, meta.seed
+                );
+                writeln!(out, "{}", oracle::line_to_json(&TraceLine::Cell(meta)))
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+                for ev in &log.events {
+                    writeln!(out, "{}", oracle::line_to_json(&TraceLine::Ev(ev.clone())))
+                        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+                }
+                traced_events += log.events.len() as u64;
+                let report = oracle::check(log);
+                for violation in report.violations {
+                    oracle_failures.push(format!("{label}: {violation}"));
+                }
+            }
+        }
 
         // Per-configuration summary table, replicates grouped in the
         // engine's canonical cell order.
@@ -348,6 +425,24 @@ fn main() {
             experiments: timings,
         },
     );
+
+    if let Some((path, mut out)) = trace_out {
+        out.flush()
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!("[saved {}] ({traced_events} events)", path.display());
+        if oracle_failures.is_empty() {
+            println!("suite: replay oracle clean over {traced_events} events");
+        } else {
+            for failure in &oracle_failures {
+                eprintln!("suite: ORACLE VIOLATION: {failure}");
+            }
+            eprintln!(
+                "suite: replay oracle found {} violation(s)",
+                oracle_failures.len()
+            );
+            std::process::exit(1);
+        }
+    }
     println!("suite: done in {total_wall_ms} ms");
 }
 

@@ -1,0 +1,139 @@
+//! Offline replay of an exported trace: re-derives every invariant and
+//! re-computes every digest from the JSONL file alone.
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin trace_report -- [FILE]
+//! ```
+//!
+//! `FILE` defaults to `results/suite_trace.jsonl` (what `suite --trace`
+//! writes). For each cell the report parses the `CellMeta` header and
+//! the event lines that follow, then checks that
+//!
+//! * the recorded event count and FNV digest match the header (drift or
+//!   tampering between export and replay is caught, not assumed away),
+//! * the replay oracle (`pc_bench::oracle`) finds no invariant
+//!   violations.
+//!
+//! Exits non-zero on any parse error, mismatch or violation, which is
+//! what lets CI treat an exported artifact as self-verifying.
+
+use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_trace_events::{digest, Event, TraceLog, TRACE_SCHEMA_VERSION};
+use std::io::{BufRead, BufReader};
+
+/// One cell reassembled from the JSONL stream.
+struct CellTrace {
+    meta: CellMeta,
+    events: Vec<Event>,
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/suite_trace.jsonl".to_string());
+    if path == "--help" || path == "-h" {
+        println!(
+            "usage: trace_report [FILE]\n\
+             \n\
+             Replays the JSONL trace export FILE (default\n\
+             results/suite_trace.jsonl): per cell, recomputes the event\n\
+             count and FNV digest against the CellMeta header and runs\n\
+             the replay oracle. Non-zero exit on any mismatch."
+        );
+        return;
+    }
+
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("trace_report: cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+
+    let mut cells: Vec<CellTrace> = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("trace_report: {path}:{}: read error: {e}", lineno + 1);
+            std::process::exit(2);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        match oracle::line_from_json(&line) {
+            Ok(TraceLine::Cell(meta)) => cells.push(CellTrace {
+                meta,
+                events: Vec::new(),
+            }),
+            Ok(TraceLine::Ev(ev)) => match cells.last_mut() {
+                Some(cell) => cell.events.push(ev),
+                None => {
+                    eprintln!(
+                        "trace_report: {path}:{}: event before any cell header",
+                        lineno + 1
+                    );
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("trace_report: {path}:{}: bad line: {e}", lineno + 1);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures = 0u64;
+    let mut total_events = 0u64;
+    for cell in &cells {
+        let label = format!(
+            "{} {} M={} B={} seed={}",
+            cell.meta.experiment,
+            cell.meta.strategy,
+            cell.meta.pairs,
+            cell.meta.buffer,
+            cell.meta.seed
+        );
+        total_events += cell.events.len() as u64;
+        let mut problems: Vec<String> = Vec::new();
+
+        if cell.events.len() as u64 != cell.meta.events {
+            problems.push(format!(
+                "event count {} != header {}",
+                cell.events.len(),
+                cell.meta.events
+            ));
+        }
+        let recomputed = digest(&cell.events);
+        if recomputed != cell.meta.digest {
+            problems.push(format!(
+                "digest {recomputed:016x} != header {:016x}",
+                cell.meta.digest
+            ));
+        }
+        let report = oracle::check(&TraceLog {
+            schema_version: TRACE_SCHEMA_VERSION,
+            events: cell.events.clone(),
+            dropped: cell.meta.dropped,
+        });
+        problems.extend(report.violations);
+
+        if problems.is_empty() {
+            println!("ok   {label}: {} events", cell.events.len());
+        } else {
+            failures += problems.len() as u64;
+            for p in &problems {
+                println!("FAIL {label}: {p}");
+            }
+        }
+    }
+
+    println!(
+        "trace_report: {} cell(s), {} event(s), {} failure(s)",
+        cells.len(),
+        total_events,
+        failures
+    );
+    if failures > 0 || cells.is_empty() {
+        if cells.is_empty() {
+            eprintln!("trace_report: no cells in {path}");
+        }
+        std::process::exit(1);
+    }
+}

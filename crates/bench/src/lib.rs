@@ -8,4 +8,5 @@
 #![warn(rust_2018_idioms)]
 
 pub mod exp;
+pub mod oracle;
 pub mod sweep;

@@ -21,6 +21,7 @@
 
 use crate::exp::Protocol;
 use pc_core::{Experiment, RunMetrics, StrategyKind};
+use pc_trace_events::{Recorder, TraceLog, DEFAULT_RECORDER_CAPACITY};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -151,6 +152,46 @@ pub fn run_cell(protocol: &Protocol, cell: &CellSpec) -> RunMetrics {
 /// Runs `cells` on `threads` workers; results in cell order.
 pub fn execute(protocol: &Protocol, cells: &[CellSpec], threads: usize) -> Vec<RunMetrics> {
     parallel_map(cells, threads, |cell| run_cell(protocol, cell))
+}
+
+/// Per-cell recorder bound for traced runs: `PC_TRACE_CAP` if set to a
+/// positive integer, else [`DEFAULT_RECORDER_CAPACITY`].
+pub fn trace_capacity_from_env() -> usize {
+    std::env::var("PC_TRACE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(DEFAULT_RECORDER_CAPACITY)
+}
+
+/// Runs one cell with an event recorder attached and returns the metrics
+/// together with the recording. Recording is purely observational: the
+/// metrics are bit-identical to [`run_cell`]'s, which is what lets the
+/// suite keep `results/suite.json` byte-stable under `--trace`.
+pub fn run_cell_traced(protocol: &Protocol, cell: &CellSpec) -> (RunMetrics, TraceLog) {
+    let recorder = Recorder::bounded(trace_capacity_from_env());
+    let metrics = Experiment::builder()
+        .pairs(cell.point.pairs)
+        .cores(cell.point.cores)
+        .duration(protocol.duration)
+        .strategy(cell.strategy.clone())
+        .trace(protocol.trace.clone())
+        .seed(protocol.base_seed + cell.replicate as u64)
+        .buffer_capacity(cell.point.buffer)
+        .record_events(recorder.handle())
+        .run();
+    (metrics, recorder.take())
+}
+
+/// Traced variant of [`execute`]: each cell records into its own bounded
+/// recorder, so traces are per-cell deterministic whatever the thread
+/// count.
+pub fn execute_traced(
+    protocol: &Protocol,
+    cells: &[CellSpec],
+    threads: usize,
+) -> Vec<(RunMetrics, TraceLog)> {
+    parallel_map(cells, threads, |cell| run_cell_traced(protocol, cell))
 }
 
 /// Runs a whole spec and regroups the flat cell results back into

@@ -18,6 +18,7 @@
 
 use crate::model::ConsumerId;
 use crate::slot::{SlotIndex, SlotTrack};
+use pc_trace_events::{TraceEvent, TraceHandle};
 use std::collections::BTreeMap;
 
 /// Slot reservation book-keeping for one core.
@@ -43,6 +44,10 @@ pub struct CoreManager {
     held: BTreeMap<ConsumerId, SlotIndex>,
     /// Total wakeups this manager has scheduled (slots dispatched).
     scheduled_wakeups: u64,
+    /// Event-trace handle (disabled by default) and the core index used
+    /// to tag emitted `Slot*` events.
+    trace: TraceHandle,
+    core_tag: u32,
 }
 
 impl CoreManager {
@@ -53,7 +58,16 @@ impl CoreManager {
             reservations: BTreeMap::new(),
             held: BTreeMap::new(),
             scheduled_wakeups: 0,
+            trace: TraceHandle::disabled(),
+            core_tag: 0,
         }
+    }
+
+    /// Attaches an event-trace handle, tagging this manager's
+    /// reservation traffic with `core` (the core index it manages).
+    pub fn set_trace(&mut self, trace: TraceHandle, core: u32) {
+        self.trace = trace;
+        self.core_tag = core;
     }
 
     /// The slot track this manager schedules on.
@@ -65,13 +79,20 @@ impl CoreManager {
     /// reservation if any (each consumer holds at most one — its next
     /// invocation).
     pub fn reserve(&mut self, slot: SlotIndex, consumer: ConsumerId) {
-        if let Some(old) = self.held.insert(consumer, slot) {
+        let prev = self.held.insert(consumer, slot);
+        if let Some(old) = prev {
             if old == slot {
                 return;
             }
             self.remove_from_slot(old, consumer);
         }
         self.reservations.entry(slot).or_default().push(consumer);
+        self.trace.record(|| TraceEvent::SlotReserve {
+            core: self.core_tag,
+            consumer: consumer.0 as u32,
+            slot,
+            prev,
+        });
     }
 
     /// Drops `consumer`'s reservation, if it holds one. Returns the slot
@@ -79,6 +100,11 @@ impl CoreManager {
     pub fn deregister(&mut self, consumer: ConsumerId) -> Option<SlotIndex> {
         let slot = self.held.remove(&consumer)?;
         self.remove_from_slot(slot, consumer);
+        self.trace.record(|| TraceEvent::SlotRelease {
+            core: self.core_tag,
+            consumer: consumer.0 as u32,
+            slot,
+        });
         Some(slot)
     }
 
@@ -162,6 +188,11 @@ impl CoreManager {
                     self.held.remove(c);
                 }
                 self.scheduled_wakeups += 1;
+                self.trace.record(|| TraceEvent::SlotDispatch {
+                    core: self.core_tag,
+                    slot,
+                    consumers: list.iter().map(|c| c.0 as u32).collect(),
+                });
                 list
             }
             None => Vec::new(),

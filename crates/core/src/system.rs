@@ -31,6 +31,7 @@ use pc_queues::{ElasticBuffer, GlobalPool};
 use pc_sim::event::EventId;
 use pc_sim::{Core, CoreId, Engine, SimDuration, SimTime, TimerModel};
 use pc_trace::{Trace, WorldCupConfig};
+use pc_trace_events::{TraceEvent, TraceHandle, Trigger as TraceTrigger};
 use std::sync::Arc;
 
 /// Simulation events.
@@ -51,6 +52,15 @@ enum Ev {
 enum Trigger {
     Scheduled,
     Overflow,
+}
+
+impl From<Trigger> for TraceTrigger {
+    fn from(t: Trigger) -> TraceTrigger {
+        match t {
+            Trigger::Scheduled => TraceTrigger::Scheduled,
+            Trigger::Overflow => TraceTrigger::Overflow,
+        }
+    }
 }
 
 struct PairState {
@@ -97,6 +107,8 @@ struct Sim {
     /// Kept alive so buffers can borrow/return against it; also used by
     /// conservation assertions in tests.
     _pool: Option<Arc<GlobalPool>>,
+    /// Event-trace handle (disabled unless the builder attached one).
+    trace: TraceHandle,
 }
 
 impl Sim {
@@ -158,8 +170,14 @@ impl Sim {
 
     fn item_drain(&mut self, i: usize, now: SimTime) {
         let factor = self.sync_factor();
+        let n = self.pairs[i].backlog.len() as u64;
+        self.trace.record(|| TraceEvent::Invoke {
+            pair: i as u32,
+            trigger: TraceTrigger::Item,
+            batch: n,
+            capacity: self.base_capacity as u64,
+        });
         let pair = &mut self.pairs[i];
-        let n = pair.backlog.len() as u64;
         self.scratch.clear();
         self.scratch.append(&mut pair.backlog);
         // The sleep-entry tail is part of the wake session: the thread
@@ -215,6 +233,12 @@ impl Sim {
         let capacity = buffer.capacity();
         self.scratch.clear();
         let n = buffer.drain_into(&mut self.scratch) as u64;
+        self.trace.record(|| TraceEvent::Invoke {
+            pair: i as u32,
+            trigger: trigger.into(),
+            batch: n,
+            capacity: capacity as u64,
+        });
         let work = batch_work(&self.power, n);
         self.finish_drain(i, now, work, capacity);
         n
@@ -331,6 +355,10 @@ impl Sim {
             cfg.latching,
             Some(PairId(i)),
         );
+        // §V-C: the overrun flag of the *initial* selection is what
+        // triggers upsizing; report it even when the re-selection below
+        // settles on a comfortable slot.
+        let rate_overrun = choice.rate_overrun;
         if cfg.resizing {
             let buffer = self.pairs[i].buffer.as_mut().expect("checked above");
             if choice.rate_overrun {
@@ -380,6 +408,13 @@ impl Sim {
                 }
             }
         }
+        self.trace.record(|| TraceEvent::SlotSelect {
+            pair: i as u32,
+            core: core as u32,
+            slot: choice.slot,
+            latched: choice.latched,
+            rate_overrun,
+        });
         self.managers[core].reserve(choice.slot, PairId(i));
         self.ensure_scheduled(core, now);
     }
@@ -504,6 +539,12 @@ impl Sim {
         let pair = &mut self.pairs[i];
         pair.metrics.items_consumed += 1;
         pair.metrics.record_latency(t, t);
+        self.trace.record(|| TraceEvent::Invoke {
+            pair: i as u32,
+            trigger: TraceTrigger::Item,
+            batch: 1,
+            capacity: 0,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -516,6 +557,8 @@ impl Sim {
                 let t = self.pairs[pair].times[self.pairs[pair].next_idx];
                 self.pairs[pair].next_idx += 1;
                 self.pairs[pair].metrics.items_produced += 1;
+                self.trace
+                    .record(|| TraceEvent::Produce { pair: pair as u32 });
                 match self.strategy {
                     StrategyKind::BusyWait | StrategyKind::Yield => self.busy_produce(pair, t),
                     StrategyKind::Mutex | StrategyKind::Sem => self.item_produce(pair, t),
@@ -594,7 +637,7 @@ impl Sim {
         // End-of-run flush: account for items still buffered so the
         // conservation invariant (produced == consumed) holds. No wakeups
         // or core spans are charged — the run is over.
-        for pair in &mut self.pairs {
+        for (i, pair) in self.pairs.iter_mut().enumerate() {
             let mut leftovers = Vec::new();
             pair.backlog.drain(..).for_each(|t| leftovers.push(t));
             if let Some(buffer) = pair.buffer.as_mut() {
@@ -605,6 +648,10 @@ impl Sim {
                     pair.metrics.record_latency(t, self.end);
                 }
                 pair.metrics.items_consumed += leftovers.len() as u64;
+                self.trace.record(|| TraceEvent::Flush {
+                    pair: i as u32,
+                    drained: leftovers.len() as u64,
+                });
             }
         }
 
@@ -671,6 +718,7 @@ pub struct ExperimentBuilder {
     buffer_capacity: usize,
     governor: GovernorKind,
     max_latencies: Option<Vec<SimDuration>>,
+    trace_events: TraceHandle,
 }
 
 impl Default for ExperimentBuilder {
@@ -687,6 +735,7 @@ impl Default for ExperimentBuilder {
             buffer_capacity: 50,
             governor: GovernorKind::Oracle,
             max_latencies: None,
+            trace_events: TraceHandle::disabled(),
         }
     }
 }
@@ -774,6 +823,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches a structured event-trace handle: the run emits typed
+    /// events (produce/invoke/flush, core spans, slot reservations,
+    /// elastic-pool transactions) into its recorder. Purely
+    /// observational — metrics are bit-identical with or without it.
+    pub fn record_events(mut self, handle: TraceHandle) -> Self {
+        self.trace_events = handle;
+        self
+    }
+
     /// Runs the experiment and returns its metrics.
     pub fn run(self) -> RunMetrics {
         let end = SimTime::ZERO + self.duration;
@@ -832,8 +890,11 @@ impl ExperimentBuilder {
                         // Fixed-size strategies never resize anyway.
                         None => self.buffer_capacity,
                     };
-                    ElasticBuffer::with_min(Arc::clone(p), self.buffer_capacity, min_cap)
-                        .expect("pool sized as B0*M covers every base reservation")
+                    let mut buf =
+                        ElasticBuffer::with_min(Arc::clone(p), self.buffer_capacity, min_cap)
+                            .expect("pool sized as B0*M covers every base reservation");
+                    buf.set_trace(self.trace_events.clone(), i as u32);
+                    buf
                 });
                 let max_latency = match (&self.max_latencies, &pbpl_cfg) {
                     (Some(lats), _) => lats[i],
@@ -870,7 +931,13 @@ impl ExperimentBuilder {
             _ => SimDuration::from_millis(1),
         };
         let track = SlotTrack::new(delta);
-        let managers = (0..self.cores).map(|_| CoreManager::new(track)).collect();
+        let managers = (0..self.cores)
+            .map(|c| {
+                let mut m = CoreManager::new(track);
+                m.set_trace(self.trace_events.clone(), c as u32);
+                m
+            })
+            .collect();
 
         let mut pairs_by_core = vec![Vec::new(); self.cores];
         for (i, p) in pairs.iter().enumerate() {
@@ -884,8 +951,18 @@ impl ExperimentBuilder {
             strategy: self.strategy,
             power: self.power,
             end,
-            engine: Engine::new(self.seed),
-            cores: (0..self.cores).map(|c| Core::new(CoreId(c))).collect(),
+            engine: {
+                let mut engine = Engine::new(self.seed);
+                engine.set_trace(self.trace_events.clone());
+                engine
+            },
+            cores: (0..self.cores)
+                .map(|c| {
+                    let mut core = Core::new(CoreId(c));
+                    core.set_trace(self.trace_events.clone());
+                    core
+                })
+                .collect(),
             core_busy_until: vec![SimTime::ZERO; self.cores],
             managers,
             slot_timer: vec![None; self.cores],
@@ -893,6 +970,7 @@ impl ExperimentBuilder {
             base_capacity: self.buffer_capacity,
             scratch: Vec::new(),
             _pool: pool,
+            trace: self.trace_events,
         };
         sim.run()
     }

@@ -20,6 +20,7 @@
 //! The pool uses a single atomic counter so it can be shared both by the
 //! single-threaded simulator and by native threads.
 
+use pc_trace_events::{TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -150,6 +151,10 @@ pub struct ElasticBuffer<T> {
     cap: usize,
     len: usize,
     segments: VecDeque<VecDeque<T>>,
+    /// Event-trace handle (disabled by default) and the pair index used
+    /// as the `owner` field of emitted `Buffer*` events.
+    trace: TraceHandle,
+    owner: u32,
 }
 
 impl<T> ElasticBuffer<T> {
@@ -182,7 +187,24 @@ impl<T> ElasticBuffer<T> {
             cap: initial,
             len: 0,
             segments: VecDeque::new(),
+            trace: TraceHandle::disabled(),
+            owner: 0,
         })
+    }
+
+    /// Attaches an event-trace handle, tagging this buffer's pool
+    /// transactions with `owner` (the pair index). Emits a
+    /// [`TraceEvent::BufferCreate`] carrying the pool totals so a replay
+    /// oracle can track conservation from this point on.
+    pub fn set_trace(&mut self, trace: TraceHandle, owner: u32) {
+        self.trace = trace;
+        self.owner = owner;
+        self.trace.record(|| TraceEvent::BufferCreate {
+            owner,
+            capacity: self.cap as u64,
+            pool_available: self.pool.available() as u64,
+            pool_total: self.pool.total() as u64,
+        });
     }
 
     /// Current capacity in items (`Bᵢ`).
@@ -260,8 +282,16 @@ impl<T> ElasticBuffer<T> {
     /// capacity.
     pub fn grow_to(&mut self, target: usize) -> usize {
         if target > self.cap {
+            let from = self.cap;
             let granted = self.pool.try_reserve(target - self.cap);
             self.cap += granted;
+            self.trace.record(|| TraceEvent::BufferGrow {
+                owner: self.owner,
+                from: from as u64,
+                to: self.cap as u64,
+                want: target as u64,
+                pool_available: self.pool.available() as u64,
+            });
         }
         self.cap
     }
@@ -272,9 +302,16 @@ impl<T> ElasticBuffer<T> {
     pub fn shrink_to(&mut self, target: usize) -> usize {
         let floor = self.min_cap.max(self.len).max(target);
         if self.cap > floor {
+            let from = self.cap;
             let freed = self.cap - floor;
             self.cap = floor;
             self.pool.release(freed);
+            self.trace.record(|| TraceEvent::BufferShrink {
+                owner: self.owner,
+                from: from as u64,
+                to: self.cap as u64,
+                pool_available: self.pool.available() as u64,
+            });
         }
         self.cap
     }
@@ -299,6 +336,11 @@ impl<T> ElasticBuffer<T> {
 impl<T> Drop for ElasticBuffer<T> {
     fn drop(&mut self) {
         self.pool.release(self.cap);
+        self.trace.record(|| TraceEvent::BufferDestroy {
+            owner: self.owner,
+            released: self.cap as u64,
+            pool_available: self.pool.available() as u64,
+        });
     }
 }
 

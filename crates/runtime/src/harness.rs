@@ -13,6 +13,7 @@ use pc_power::PowerModel;
 use pc_queues::GlobalPool;
 use pc_sim::{SimDuration, SimTime};
 use pc_trace::WorldCupConfig;
+use pc_trace_events::TraceHandle;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -38,6 +39,10 @@ pub struct NativeHarness {
     pub buffer_capacity: usize,
     /// Seed for trace generation.
     pub seed: u64,
+    /// Structured event-trace handle (disabled by default). Native
+    /// events carry replay-clock sim time: good for conservation checks,
+    /// not for bit-stable digests.
+    pub trace_events: TraceHandle,
 }
 
 impl Default for NativeHarness {
@@ -51,6 +56,7 @@ impl Default for NativeHarness {
             trace: WorldCupConfig::quick_test(),
             buffer_capacity: 25,
             seed: 42,
+            trace_events: TraceHandle::disabled(),
         }
     }
 }
@@ -156,6 +162,7 @@ impl NativeHarness {
                         _ => None,
                     },
                     cost,
+                    trace_events: self.trace_events.clone(),
                 };
                 match &self.strategy {
                     StrategyKind::BusyWait => spawn_busy(ctx, false),

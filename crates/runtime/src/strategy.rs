@@ -18,6 +18,7 @@ use pc_queues::semqueue::SemQueueConsumer;
 use pc_queues::{spsc_ring, ElasticBuffer, GlobalPool, MutexQueue, SemQueue, Semaphore};
 use pc_sim::SimTime;
 use pc_trace::Trace;
+use pc_trace_events::{TraceEvent, TraceHandle, Trigger as TraceTrigger};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -67,6 +68,17 @@ pub struct PairContext {
     pub pbpl: Option<PbplConfig>,
     /// PBPL only: cost constants for ρ.
     pub cost: CostModel,
+    /// Structured event-trace handle (disabled by default). Native
+    /// emissions are stamped with replay-clock *sim* time, which is
+    /// wall-derived — native traces support conservation checks, not
+    /// bit-deterministic digests.
+    pub trace_events: TraceHandle,
+}
+
+/// Emits one native trace event stamped with the replay clock's current
+/// sim time.
+fn emit(events: &TraceHandle, clock: &ReplayClock, make: impl FnOnce() -> TraceEvent) {
+    events.record_at(clock.now_sim().as_nanos(), make);
 }
 
 fn spawn_producer<F>(
@@ -74,6 +86,8 @@ fn spawn_producer<F>(
     clock: ReplayClock,
     stop: Arc<AtomicBool>,
     counters: Arc<PairCounters>,
+    events: TraceHandle,
+    pair: u32,
     mut push: F,
 ) -> JoinHandle<()>
 where
@@ -86,6 +100,7 @@ where
             }
             push(Instant::now());
             counters.add_produced(1);
+            emit(&events, &clock, || TraceEvent::Produce { pair });
         }
     })
 }
@@ -104,6 +119,8 @@ pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
         ctx.clock,
         Arc::clone(&stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             // Spin until space; the consumer spins too, so space appears fast.
             let mut v = at;
@@ -115,6 +132,9 @@ pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
     );
     let ccount = Arc::clone(&counters);
     let cstop = Arc::clone(&stop);
+    let cevents = ctx.trace_events.clone();
+    let cclock = ctx.clock;
+    let pair = ctx.index as u32;
     let consumer = thread::spawn(move || {
         let _busy = ccount.busy_timer(); // busy for its whole life
         loop {
@@ -122,6 +142,12 @@ pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
                 Some(at) => {
                     ccount.add_consumed(1);
                     ccount.add_latency(at, Instant::now());
+                    emit(&cevents, &cclock, || TraceEvent::Invoke {
+                        pair,
+                        trigger: TraceTrigger::Item,
+                        batch: 1,
+                        capacity: 0,
+                    });
                 }
                 None => {
                     if cstop.load(Ordering::Relaxed) {
@@ -181,6 +207,10 @@ fn spawn_item_consumer<Q: ItemEndpoint>(
     queue: Q,
     counters: Arc<PairCounters>,
     stop: Arc<AtomicBool>,
+    events: TraceHandle,
+    clock: ReplayClock,
+    pair: u32,
+    capacity: usize,
 ) -> JoinHandle<()> {
     thread::spawn(move || loop {
         match queue.pop_timeout(STOP_POLL) {
@@ -188,15 +218,24 @@ fn spawn_item_consumer<Q: ItemEndpoint>(
                 if blocked {
                     counters.add_wakeup();
                     counters.add_invocation(false, false);
+                    emit(&events, &clock, || TraceEvent::Wakeup { pair });
                 }
                 let _busy = counters.busy_timer();
                 counters.add_consumed(1);
                 counters.add_latency(at, Instant::now());
                 // Drain the rest of the session without blocking.
+                let mut session = 1u64;
                 while let Some(at) = queue.try_pop() {
                     counters.add_consumed(1);
                     counters.add_latency(at, Instant::now());
+                    session += 1;
                 }
+                emit(&events, &clock, || TraceEvent::Invoke {
+                    pair,
+                    trigger: TraceTrigger::Item,
+                    batch: session,
+                    capacity: capacity as u64,
+                });
             }
             None => {
                 if stop.load(Ordering::Relaxed) && queue.is_empty() {
@@ -218,11 +257,21 @@ pub fn spawn_mutex(ctx: PairContext) -> PairHandle {
         ctx.clock,
         Arc::clone(&ctx.stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             qp.push(at);
         },
     );
-    let consumer = spawn_item_consumer(q, Arc::clone(&counters), Arc::clone(&ctx.stop));
+    let consumer = spawn_item_consumer(
+        q,
+        Arc::clone(&counters),
+        Arc::clone(&ctx.stop),
+        ctx.trace_events.clone(),
+        ctx.clock,
+        ctx.index as u32,
+        ctx.capacity,
+    );
     PairHandle {
         counters,
         threads: vec![producer, consumer],
@@ -239,11 +288,21 @@ pub fn spawn_sem(ctx: PairContext) -> PairHandle {
         ctx.clock,
         Arc::clone(&ctx.stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             qp.push(at);
         },
     );
-    let consumer = spawn_item_consumer(qc, Arc::clone(&counters), Arc::clone(&ctx.stop));
+    let consumer = spawn_item_consumer(
+        qc,
+        Arc::clone(&counters),
+        Arc::clone(&ctx.stop),
+        ctx.trace_events.clone(),
+        ctx.clock,
+        ctx.index as u32,
+        ctx.capacity,
+    );
     PairHandle {
         counters,
         threads: vec![producer, consumer],
@@ -307,12 +366,18 @@ pub fn spawn_bp(ctx: PairContext) -> PairHandle {
         ctx.clock,
         Arc::clone(&ctx.stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             bp.push(at);
         },
     );
     let ccount = Arc::clone(&counters);
     let cstop = Arc::clone(&ctx.stop);
+    let cevents = ctx.trace_events.clone();
+    let cclock = ctx.clock;
+    let pair = ctx.index as u32;
+    let capacity = ctx.capacity as u64;
     let consumer = thread::spawn(move || {
         let mut batch = Vec::new();
         loop {
@@ -326,10 +391,17 @@ pub fn spawn_bp(ctx: PairContext) -> PairHandle {
                 }
             }
             ccount.add_wakeup();
+            emit(&cevents, &cclock, || TraceEvent::Wakeup { pair });
             batch.clear();
             let n = buf.drain(&mut batch);
             if n > 0 {
                 ccount.add_invocation(false, true); // every BP wake = overflow
+                emit(&cevents, &cclock, || TraceEvent::Invoke {
+                    pair,
+                    trigger: TraceTrigger::Overflow,
+                    batch: n as u64,
+                    capacity,
+                });
                 let _busy = ccount.busy_timer();
                 let now = Instant::now();
                 for &at in &batch {
@@ -360,6 +432,8 @@ pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairH
         ctx.clock,
         Arc::clone(&ctx.stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             bp.push(at);
         },
@@ -367,6 +441,9 @@ pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairH
     let ccount = Arc::clone(&counters);
     let cstop = Arc::clone(&ctx.stop);
     let clock = ctx.clock;
+    let cevents = ctx.trace_events.clone();
+    let pair = ctx.index as u32;
+    let capacity = ctx.capacity as u64;
     let consumer = thread::spawn(move || {
         let mut batch = Vec::new();
         let mut next = period;
@@ -399,9 +476,20 @@ pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairH
                 }
             };
             ccount.add_wakeup();
+            emit(&cevents, &clock, || TraceEvent::Wakeup { pair });
             batch.clear();
             let n = buf.drain(&mut batch);
             ccount.add_invocation(!overflowed, overflowed);
+            emit(&cevents, &clock, || TraceEvent::Invoke {
+                pair,
+                trigger: if overflowed {
+                    TraceTrigger::Overflow
+                } else {
+                    TraceTrigger::Scheduled
+                },
+                batch: n as u64,
+                capacity,
+            });
             if n > 0 {
                 let _busy = ccount.busy_timer();
                 let now = Instant::now();
@@ -426,7 +514,12 @@ pub fn spawn_periodic(ctx: PairContext, period: SimTime, precise: bool) -> PairH
                     ccount.add_consumed(1);
                     ccount.add_latency(at, now);
                 }
-                let _ = n;
+                if n > 0 {
+                    emit(&cevents, &clock, || TraceEvent::Flush {
+                        pair,
+                        drained: n as u64,
+                    });
+                }
                 break;
             }
         }
@@ -467,6 +560,8 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
         ctx.clock,
         Arc::clone(&ctx.stop),
         Arc::clone(&counters),
+        ctx.trace_events.clone(),
+        ctx.index as u32,
         move |at| {
             let mut v = at;
             loop {
@@ -501,6 +596,7 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
     let cost = ctx.cost;
     let index = ctx.index;
     let base_capacity = ctx.capacity;
+    let cevents = ctx.trace_events.clone();
     let consumer = thread::spawn(move || {
         let mut predictor: Box<dyn RatePredictor> = cfg.predictor.build(0.0);
         let mut last_invocation = SimTime::ZERO;
@@ -537,11 +633,20 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
                         ccount.add_consumed(1);
                         ccount.add_latency(at, t);
                     }
+                    if !batch.is_empty() {
+                        emit(&cevents, &clock, || TraceEvent::Flush {
+                            pair: index as u32,
+                            drained: batch.len() as u64,
+                        });
+                    }
                     return;
                 }
                 continue;
             }
             ccount.add_wakeup();
+            emit(&cevents, &clock, || TraceEvent::Wakeup {
+                pair: index as u32,
+            });
             let was_overflow = cov.swap(false, Ordering::AcqRel);
             ccount.add_invocation(!was_overflow, was_overflow);
             let _busy = ccount.busy_timer();
@@ -552,6 +657,16 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
                 buf.drain_into(&mut batch);
                 capacity_now = buf.capacity();
             }
+            emit(&cevents, &clock, || TraceEvent::Invoke {
+                pair: index as u32,
+                trigger: if was_overflow {
+                    TraceTrigger::Overflow
+                } else {
+                    TraceTrigger::Scheduled
+                },
+                batch: batch.len() as u64,
+                capacity: capacity_now as u64,
+            });
             let t = Instant::now();
             for &at in &batch {
                 ccount.add_consumed(1);
@@ -606,6 +721,12 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
                     ccount.add_consumed(1);
                     ccount.add_latency(at, t);
                 }
+                if !batch.is_empty() {
+                    emit(&cevents, &clock, || TraceEvent::Flush {
+                        pair: index as u32,
+                        drained: batch.len() as u64,
+                    });
+                }
                 return;
             }
         }
@@ -643,6 +764,7 @@ mod tests {
             pool: None,
             pbpl: None,
             cost: CostModel::from_power_model(&PowerModel::exynos_like()),
+            trace_events: TraceHandle::disabled(),
         };
         (ctx, stop)
     }

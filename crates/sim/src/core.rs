@@ -10,6 +10,7 @@
 //! timeline that `pc-power` later integrates into energy.
 
 use crate::time::{SimDuration, SimTime};
+use pc_trace_events::{TraceEvent, TraceHandle};
 use serde::{Deserialize, Serialize};
 
 /// Index of a CPU core in the simulated machine.
@@ -64,6 +65,7 @@ pub struct Core {
     wakeups: u64,
     active_total: SimDuration,
     last_span_start: SimTime,
+    trace: TraceHandle,
 }
 
 impl Core {
@@ -76,7 +78,14 @@ impl Core {
             wakeups: 0,
             active_total: SimDuration::ZERO,
             last_span_start: SimTime::ZERO,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches an event-trace handle; accepted spans are emitted as
+    /// [`TraceEvent::CoreSpan`] events.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// This core's id.
@@ -98,6 +107,7 @@ impl Core {
         if start == end {
             return;
         }
+        let wakeup;
         match self.open {
             None => {
                 // First activity ever: idle from t=0 until start.
@@ -109,6 +119,7 @@ impl Core {
                     });
                 }
                 self.wakeups += 1;
+                wakeup = true;
                 self.open = Some((start, end));
             }
             Some((ostart, oend)) => {
@@ -116,6 +127,7 @@ impl Core {
                     // Overlaps or abuts the open span: extend (latch — no
                     // new wakeup, the core is already awake).
                     self.open = Some((ostart, oend.max(end)));
+                    wakeup = false;
                 } else {
                     // Genuine idle gap.
                     self.close_open_span();
@@ -125,10 +137,17 @@ impl Core {
                         state: CoreState::Idle,
                     });
                     self.wakeups += 1;
+                    wakeup = true;
                     self.open = Some((start, end));
                 }
             }
         }
+        self.trace.record(|| TraceEvent::CoreSpan {
+            core: self.id.0 as u32,
+            start_ns: start.as_nanos(),
+            end_ns: end.as_nanos(),
+            wakeup,
+        });
     }
 
     fn close_open_span(&mut self) {

@@ -31,6 +31,7 @@
 use crate::event::{EventId, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use pc_trace_events::TraceHandle;
 
 /// Event queue + clock + deterministic RNG. See the module docs for the
 /// driver-loop idiom.
@@ -38,6 +39,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     rng: SimRng,
+    trace: TraceHandle,
 }
 
 impl<E> Engine<E> {
@@ -47,7 +49,14 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches an event-trace handle; every clock advance is forwarded to
+    /// the recorder so emission sites stamp events with sim time.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -92,6 +101,7 @@ impl<E> Engine<E> {
         let (t, ev) = self.queue.pop_until(deadline)?;
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        self.trace.set_now(t.as_nanos());
         Some((t, ev))
     }
 
@@ -101,6 +111,7 @@ impl<E> Engine<E> {
         let (t, ev) = self.queue.pop()?;
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        self.trace.set_now(t.as_nanos());
         Some((t, ev))
     }
 
@@ -120,6 +131,7 @@ impl<E> Engine<E> {
     pub fn advance_to(&mut self, t: SimTime) {
         debug_assert!(t >= self.now);
         self.now = t;
+        self.trace.set_now(t.as_nanos());
     }
 }
 

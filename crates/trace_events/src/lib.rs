@@ -1,0 +1,584 @@
+//! Deterministic structured event log for the producer-consumer system.
+//!
+//! Every scheduler decision the simulator (and, best-effort, the native
+//! runtime) makes can be emitted as a typed [`TraceEvent`] into a bounded
+//! in-memory [`Recorder`]. The stream is the input of the replay oracle in
+//! `pc-bench` (`pc_bench::oracle`), which re-derives the system invariants
+//! — item conservation, elastic-pool conservation, span ordering,
+//! reservation consistency — from the events alone.
+//!
+//! Determinism rules (these are a contract, mirrored in DESIGN.md):
+//!
+//! * **No wall-clock, ever.** Events carry sim time as integer
+//!   nanoseconds (`t_ns`) plus a logical sequence number (`seq`). The
+//!   native runtime stamps events with its replay clock's *sim* time,
+//!   which is wall-derived and therefore non-deterministic — native
+//!   traces are for conservation checks, not digests.
+//! * **No floats in payloads.** Every field is an integer, bool or
+//!   string, so the serialised stream and its [`digest`] are
+//!   platform-stable.
+//! * **Zero cost when disabled.** Instrumentation goes through
+//!   [`TraceHandle::record`], whose disabled path is a single `Option`
+//!   branch; payload construction is a closure that never runs unless a
+//!   recorder is attached.
+//! * **Bounded memory.** The recorder stores at most its configured
+//!   capacity and counts everything beyond it in
+//!   [`TraceLog::dropped`]; the oracle treats a truncated trace as
+//!   unverifiable rather than silently passing.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version of the event schema; bump on any change to [`TraceEvent`]
+/// variants or fields so recorded streams are self-describing.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// What caused a consumer invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// A reserved slot (or periodic timer) fired.
+    Scheduled,
+    /// The buffer filled before the scheduled wakeup.
+    Overflow,
+    /// Item-driven dispatch (Mutex/Sem sessions, busy strategies).
+    Item,
+}
+
+/// One typed observation of the system. Payloads are integers only (see
+/// the module docs); identifiers are the plain indices the system uses
+/// (`pair` = pair/consumer index, `core` = core index, `owner` = the
+/// pair index owning an elastic buffer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A producer emitted one item for `pair`.
+    Produce {
+        /// Producing pair index.
+        pair: u32,
+    },
+    /// A consumer dispatched a batch of `batch` items.
+    Invoke {
+        /// Consuming pair index.
+        pair: u32,
+        /// Why the consumer ran.
+        trigger: Trigger,
+        /// Items drained by this invocation.
+        batch: u64,
+        /// Buffer capacity at dispatch time (0 when not applicable).
+        capacity: u64,
+    },
+    /// End-of-run flush of items still buffered when the run stopped.
+    Flush {
+        /// Pair index being flushed.
+        pair: u32,
+        /// Items accounted by the flush.
+        drained: u64,
+    },
+    /// A consumer thread woke from a blocking primitive (native runtime).
+    Wakeup {
+        /// Pair index that woke.
+        pair: u32,
+    },
+    /// `Core::add_active_span` accepted an execution span.
+    CoreSpan {
+        /// Core index.
+        core: u32,
+        /// Span start, sim nanoseconds.
+        start_ns: u64,
+        /// Span end (exclusive), sim nanoseconds.
+        end_ns: u64,
+        /// Whether the span closed an idle gap (counted one wakeup).
+        wakeup: bool,
+    },
+    /// PBPL slot selection decided where a consumer wakes next.
+    SlotSelect {
+        /// Planning pair index.
+        pair: u32,
+        /// Core the pair is pinned to.
+        core: u32,
+        /// Chosen slot index.
+        slot: u64,
+        /// Whether the choice latches onto an existing reservation.
+        latched: bool,
+        /// Whether the predicted rate overran the buffer (§V-C upsizing
+        /// trigger).
+        rate_overrun: bool,
+    },
+    /// A consumer reserved a slot with its core manager.
+    SlotReserve {
+        /// Core whose manager took the reservation.
+        core: u32,
+        /// Reserving consumer (pair index).
+        consumer: u32,
+        /// Reserved slot.
+        slot: u64,
+        /// The consumer's previous reservation, replaced by this one.
+        prev: Option<u64>,
+    },
+    /// A consumer dropped its reservation.
+    SlotRelease {
+        /// Core whose manager held the reservation.
+        core: u32,
+        /// Deregistering consumer.
+        consumer: u32,
+        /// Slot it held.
+        slot: u64,
+    },
+    /// A slot fired and the manager dispatched its reservation list.
+    SlotDispatch {
+        /// Core whose slot fired.
+        core: u32,
+        /// The fired slot.
+        slot: u64,
+        /// Consumers invoked by this one wakeup (reservation order).
+        consumers: Vec<u32>,
+    },
+    /// An elastic buffer was created against the global pool.
+    BufferCreate {
+        /// Owning pair index.
+        owner: u32,
+        /// Initial capacity reserved from the pool.
+        capacity: u64,
+        /// Pool units available after the reservation.
+        pool_available: u64,
+        /// The pool's fixed total (`B_g`).
+        pool_total: u64,
+    },
+    /// An elastic buffer requested growth (§V-C upsizing; best-effort,
+    /// so `to - from` may be less than `want - from`).
+    BufferGrow {
+        /// Owning pair index.
+        owner: u32,
+        /// Capacity before the request.
+        from: u64,
+        /// Capacity after (what the pool granted).
+        to: u64,
+        /// Requested target capacity.
+        want: u64,
+        /// Pool units available after the grant.
+        pool_available: u64,
+    },
+    /// An elastic buffer returned capacity to the pool (§V-C downsizing).
+    BufferShrink {
+        /// Owning pair index.
+        owner: u32,
+        /// Capacity before the shrink.
+        from: u64,
+        /// Capacity after (floored by occupancy and `min_capacity`).
+        to: u64,
+        /// Pool units available after the release.
+        pool_available: u64,
+    },
+    /// An elastic buffer was dropped, releasing its whole capacity.
+    BufferDestroy {
+        /// Owning pair index.
+        owner: u32,
+        /// Units released back to the pool.
+        released: u64,
+        /// Pool units available after the release.
+        pool_available: u64,
+    },
+}
+
+/// One recorded event: a [`TraceEvent`] stamped with its logical sequence
+/// number and sim time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Logical sequence number, strictly increasing per recorder
+    /// (dropped events still consume numbers).
+    pub seq: u64,
+    /// Sim time of the emission, nanoseconds since run start.
+    pub t_ns: u64,
+    /// The observation itself.
+    pub kind: TraceEvent,
+}
+
+/// A finished recording: the bounded event stream plus how much of the
+/// run overflowed the bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Schema version the events were recorded under.
+    pub schema_version: u32,
+    /// Events in emission order.
+    pub events: Vec<Event>,
+    /// Events discarded after the capacity bound was hit.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// An empty log at the current schema version.
+    pub fn empty() -> Self {
+        TraceLog {
+            schema_version: TRACE_SCHEMA_VERSION,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// FNV-1a digest of the event stream (see [`digest`]).
+    pub fn digest(&self) -> u64 {
+        digest(&self.events)
+    }
+}
+
+struct RecorderInner {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+/// Bounded in-memory event sink. Shared via `Arc`; clone cheap
+/// [`TraceHandle`]s from it to thread through the system.
+///
+/// The recorder keeps a "current sim time" that the simulation engine
+/// updates on every event pop ([`Recorder::set_now`] via
+/// [`TraceHandle::set_now`]), so emission sites don't need to plumb
+/// timestamps; native-runtime sites stamp explicitly with
+/// [`TraceHandle::record_at`].
+pub struct Recorder {
+    inner: Mutex<RecorderInner>,
+    now_ns: AtomicU64,
+    capacity: usize,
+}
+
+/// Default recorder bound: comfortably holds a CI-duration suite cell
+/// (~100k events) while capping worst-case memory per live cell.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 2_000_000;
+
+impl Recorder {
+    /// Creates a recorder bounded to `capacity` events.
+    pub fn bounded(capacity: usize) -> Arc<Self> {
+        Arc::new(Recorder {
+            inner: Mutex::new(RecorderInner {
+                events: Vec::new(),
+                dropped: 0,
+            }),
+            now_ns: AtomicU64::new(0),
+            capacity,
+        })
+    }
+
+    /// Creates a recorder with [`DEFAULT_RECORDER_CAPACITY`].
+    pub fn new() -> Arc<Self> {
+        Self::bounded(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// A recording handle onto this recorder.
+    pub fn handle(self: &Arc<Self>) -> TraceHandle {
+        TraceHandle {
+            recorder: Some(Arc::clone(self)),
+        }
+    }
+
+    /// Updates the recorder's notion of "now" (sim nanoseconds).
+    pub fn set_now(&self, t_ns: u64) {
+        self.now_ns.store(t_ns, Ordering::Relaxed);
+    }
+
+    fn push(&self, t_ns: u64, kind: TraceEvent) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        if inner.events.len() >= self.capacity {
+            inner.dropped += 1;
+            return;
+        }
+        let seq = inner.events.len() as u64 + inner.dropped;
+        inner.events.push(Event { seq, t_ns, kind });
+    }
+
+    /// Takes the recording, leaving the recorder empty (sequence numbers
+    /// restart from zero).
+    pub fn take(&self) -> TraceLog {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let events = std::mem::take(&mut inner.events);
+        let dropped = std::mem::take(&mut inner.dropped);
+        TraceLog {
+            schema_version: TRACE_SCHEMA_VERSION,
+            events,
+            dropped,
+        }
+    }
+
+    /// Clones the recording without draining it.
+    pub fn snapshot(&self) -> TraceLog {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        TraceLog {
+            schema_version: TRACE_SCHEMA_VERSION,
+            events: inner.events.clone(),
+            dropped: inner.dropped,
+        }
+    }
+}
+
+/// Cheap, cloneable emission endpoint. Disabled by default — the
+/// disabled path of every `record*` call is a single branch and the
+/// payload closure never runs.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Self {
+        TraceHandle { recorder: None }
+    }
+
+    /// Whether a recorder is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records an event stamped with the recorder's current sim time.
+    /// `make` only runs when a recorder is attached.
+    #[inline]
+    pub fn record(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(rec) = &self.recorder {
+            let t_ns = rec.now_ns.load(Ordering::Relaxed);
+            rec.push(t_ns, make());
+        }
+    }
+
+    /// Records an event at an explicit sim time (native-runtime sites,
+    /// where no engine maintains the recorder clock).
+    #[inline]
+    pub fn record_at(&self, t_ns: u64, make: impl FnOnce() -> TraceEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.push(t_ns, make());
+        }
+    }
+
+    /// Forwards the simulation clock to the recorder (no-op when
+    /// disabled).
+    #[inline]
+    pub fn set_now(&self, t_ns: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.set_now(t_ns);
+        }
+    }
+}
+
+/// FNV-1a (64-bit) over the canonical single-line JSON of each event,
+/// newline-separated — exactly the bytes a JSONL export of the stream
+/// contains, so an exported file and an in-memory log always agree.
+///
+/// Payloads are integers/bools/strings only (module contract), so the
+/// digest is platform-stable and bit-deterministic per seed.
+pub fn digest(events: &[Event]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut step = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for ev in events {
+        let line = event_to_json(ev);
+        step(line.as_bytes());
+        step(b"\n");
+    }
+    hash
+}
+
+/// Canonical single-line JSON for one event (insertion-ordered keys, no
+/// whitespace — the shim's compact form).
+pub fn event_to_json(ev: &Event) -> String {
+    serde_json::to_string(ev).expect("event serialisation is infallible")
+}
+
+/// Parses one event back from its canonical JSON line.
+pub fn event_from_json(line: &str) -> Result<Event, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pair: u32) -> TraceEvent {
+        TraceEvent::Produce { pair }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        // The payload closure must not run.
+        h.record(|| panic!("closure ran on a disabled handle"));
+        h.record_at(5, || panic!("closure ran on a disabled handle"));
+        h.set_now(9);
+    }
+
+    #[test]
+    fn records_are_stamped_with_seq_and_now() {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        h.set_now(100);
+        h.record(|| ev(0));
+        h.set_now(250);
+        h.record(|| ev(1));
+        h.record_at(7, || ev(2));
+        let log = rec.take();
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.events.len(), 3);
+        assert_eq!((log.events[0].seq, log.events[0].t_ns), (0, 100));
+        assert_eq!((log.events[1].seq, log.events[1].t_ns), (1, 250));
+        assert_eq!((log.events[2].seq, log.events[2].t_ns), (2, 7));
+        // take() drains.
+        assert!(rec.take().events.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_counts_drops() {
+        let rec = Recorder::bounded(2);
+        let h = rec.handle();
+        for i in 0..5 {
+            h.record(|| ev(i));
+        }
+        let log = rec.take();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.dropped, 3);
+    }
+
+    #[test]
+    fn json_roundtrip_all_variants() {
+        let variants = vec![
+            TraceEvent::Produce { pair: 3 },
+            TraceEvent::Invoke {
+                pair: 1,
+                trigger: Trigger::Overflow,
+                batch: 25,
+                capacity: 50,
+            },
+            TraceEvent::Flush {
+                pair: 0,
+                drained: 7,
+            },
+            TraceEvent::Wakeup { pair: 2 },
+            TraceEvent::CoreSpan {
+                core: 1,
+                start_ns: 10,
+                end_ns: 20,
+                wakeup: true,
+            },
+            TraceEvent::SlotSelect {
+                pair: 0,
+                core: 0,
+                slot: 41,
+                latched: true,
+                rate_overrun: false,
+            },
+            TraceEvent::SlotReserve {
+                core: 0,
+                consumer: 4,
+                slot: 9,
+                prev: Some(7),
+            },
+            TraceEvent::SlotReserve {
+                core: 0,
+                consumer: 4,
+                slot: 9,
+                prev: None,
+            },
+            TraceEvent::SlotRelease {
+                core: 1,
+                consumer: 0,
+                slot: 3,
+            },
+            TraceEvent::SlotDispatch {
+                core: 0,
+                slot: 12,
+                consumers: vec![0, 2, 4],
+            },
+            TraceEvent::BufferCreate {
+                owner: 0,
+                capacity: 25,
+                pool_available: 25,
+                pool_total: 50,
+            },
+            TraceEvent::BufferGrow {
+                owner: 1,
+                from: 25,
+                to: 30,
+                want: 40,
+                pool_available: 0,
+            },
+            TraceEvent::BufferShrink {
+                owner: 1,
+                from: 30,
+                to: 10,
+                pool_available: 20,
+            },
+            TraceEvent::BufferDestroy {
+                owner: 1,
+                released: 10,
+                pool_available: 50,
+            },
+        ];
+        for (i, kind) in variants.into_iter().enumerate() {
+            let event = Event {
+                seq: i as u64,
+                t_ns: 1_000 + i as u64,
+                kind,
+            };
+            let line = event_to_json(&event);
+            let back = event_from_json(&line).expect("roundtrip parses");
+            assert_eq!(back, event, "roundtrip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let make = |pair| {
+            vec![
+                Event {
+                    seq: 0,
+                    t_ns: 5,
+                    kind: ev(pair),
+                },
+                Event {
+                    seq: 1,
+                    t_ns: 9,
+                    kind: TraceEvent::Flush { pair, drained: 1 },
+                },
+            ]
+        };
+        let a = digest(&make(0));
+        let b = digest(&make(0));
+        let c = digest(&make(1));
+        assert_eq!(a, b, "same stream, same digest");
+        assert_ne!(a, c, "different stream, different digest");
+        assert_ne!(digest(&[]), a);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Recorder::new();
+        let h = rec.handle();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        h.record_at(u64::from(t), || ev(t));
+                    }
+                });
+            }
+        });
+        let log = rec.take();
+        assert_eq!(log.events.len(), 400);
+        // Sequence numbers are unique and dense.
+        let mut seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..400).collect::<Vec<u64>>());
+    }
+}

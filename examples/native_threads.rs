@@ -47,6 +47,7 @@ fn main() {
             trace: trace.clone(),
             buffer_capacity: 25,
             seed: 42,
+            ..NativeHarness::default()
         }
         .run();
         let sched: u64 = report.pairs.iter().map(|p| p.scheduled).sum();

@@ -6,7 +6,7 @@
 //! `prop::collection::vec` composition, `prop_oneof!`, `any::<bool>()`
 //! and the `prop_assert*` macros. Differences from upstream: failing
 //! cases are not shrunk, and generation is deterministic per test name
-//! + case index, so re-running a failed test replays the exact same
+//! and case index, so re-running a failed test replays the exact same
 //! cases.
 
 use std::ops::Range;

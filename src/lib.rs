@@ -22,6 +22,9 @@
 //!   itself, plus the experiment driver.
 //! * [`runtime`] — all strategies on real OS threads with wakeup/usage
 //!   instrumentation.
+//! * [`trace_events`] — deterministic structured event log (bounded
+//!   recorder, typed events, FNV digests) consumed by the replay oracle
+//!   in `pc-bench`.
 //!
 //! ## Quick start
 //!
@@ -50,3 +53,4 @@ pub use pc_runtime as runtime;
 pub use pc_sim as sim;
 pub use pc_stats as stats;
 pub use pc_trace as trace;
+pub use pc_trace_events as trace_events;

@@ -21,6 +21,7 @@ fn harness(strategy: StrategyKind) -> NativeHarness {
         },
         buffer_capacity: 25,
         seed: 9,
+        ..NativeHarness::default()
     }
 }
 

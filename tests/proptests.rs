@@ -91,6 +91,55 @@ proptest! {
     }
 
     #[test]
+    fn traced_elastic_ops_replay_clean(
+        ops in prop::collection::vec((0u8..6, 1usize..60), 1..200)
+    ) {
+        // Random interleavings of grow/shrink/push/pop/destroy/create
+        // over traced elastic buffers: the direct conservation check must
+        // hold at every step, and the recorded `Buffer*` event stream
+        // must replay clean through the oracle (conservation after every
+        // transaction, no double-free, grants within requests).
+        use pcpower::trace_events::Recorder;
+        let total = 120usize;
+        let pool = GlobalPool::new(total);
+        let recorder = Recorder::new();
+        let mut next_owner = 0u32;
+        let make = |pool: &Arc<GlobalPool>, next_owner: &mut u32| {
+            let mut b = ElasticBuffer::<u8>::new(Arc::clone(pool), 20)?;
+            b.set_trace(recorder.handle(), *next_owner);
+            *next_owner += 1;
+            Some(b)
+        };
+        let mut bufs: Vec<Option<ElasticBuffer<u8>>> = (0..3)
+            .map(|_| make(&pool, &mut next_owner))
+            .collect();
+        for (op, arg) in ops {
+            let k = arg % 3;
+            match (op, bufs[k].as_mut()) {
+                (0, Some(b)) => { b.grow_to(arg); }
+                (1, Some(b)) => { b.shrink_to(arg % 40); }
+                (2, Some(b)) => { let _ = b.push(0); }
+                (3, Some(b)) => { b.pop(); }
+                (4, _) => { bufs[k] = None; } // destroy
+                (_, slot) => {
+                    if slot.is_none() {
+                        bufs[k] = make(&pool, &mut next_owner); // recreate
+                    }
+                }
+            }
+            let held: usize = bufs.iter().flatten().map(|b| b.capacity()).sum();
+            prop_assert_eq!(held + pool.available(), total);
+        }
+        drop(bufs);
+        prop_assert_eq!(pool.available(), total);
+        let log = recorder.take();
+        prop_assert_eq!(log.dropped, 0);
+        prop_assert!(!log.events.is_empty());
+        let report = pc_bench::oracle::check(&log);
+        prop_assert!(report.is_clean(), "oracle violations: {:?}", report.violations);
+    }
+
+    #[test]
     fn slot_g_properties(delta_us in 1u64..100_000, t_ns in 0u64..10_000_000_000) {
         let track = SlotTrack::new(SimDuration::from_micros(delta_us));
         let t = SimTime::from_nanos(t_ns);

@@ -324,3 +324,91 @@ fn mismatched_latency_count_rejected() {
         .max_latencies(vec![SimDuration::from_millis(10)])
         .run();
 }
+
+#[test]
+fn golden_trace_digest_is_stable() {
+    // Golden regression for the event-trace schema and instrumentation:
+    // the paper-default workload at a fixed seed must always emit the
+    // exact same event stream — any change to emission sites, event
+    // payloads or JSON encoding shows up as a digest change and must be
+    // reviewed (and this constant updated) deliberately.
+    use pcpower::trace_events::Recorder;
+    let run_digest = || {
+        let recorder = Recorder::new();
+        let m = Experiment::builder()
+            .pairs(2)
+            .cores(2)
+            .duration(SimDuration::from_millis(100))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(WorldCupConfig::paper_default())
+            .buffer_capacity(25)
+            .seed(1)
+            .record_events(recorder.handle())
+            .run();
+        assert!(m.all_items_consumed());
+        let log = recorder.take();
+        assert_eq!(log.dropped, 0, "golden run must fit the recorder");
+        assert!(!log.events.is_empty());
+        let report = pc_bench::oracle::check(&log);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        log.digest()
+    };
+    let digest = run_digest();
+    assert_eq!(digest, run_digest(), "trace must be deterministic");
+    assert_eq!(
+        digest, GOLDEN_TRACE_DIGEST,
+        "event stream changed — if intentional, update GOLDEN_TRACE_DIGEST"
+    );
+}
+
+/// See [`golden_trace_digest_is_stable`].
+const GOLDEN_TRACE_DIGEST: u64 = 12150806464438147394;
+
+#[test]
+fn recording_does_not_change_metrics() {
+    // The trace layer is purely observational: energy and item counts
+    // are bit-identical with and without a recorder attached. This is
+    // the property that lets `suite --trace` keep `results/suite.json`
+    // byte-stable.
+    use pcpower::trace_events::Recorder;
+    let build = || {
+        Experiment::builder()
+            .pairs(3)
+            .cores(2)
+            .duration(SimDuration::from_millis(200))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(WorldCupConfig::quick_test())
+            .buffer_capacity(25)
+            .seed(9)
+    };
+    let recorder = Recorder::new();
+    let with = build().record_events(recorder.handle()).run();
+    let without = build().run();
+    assert_eq!(with.items_produced, without.items_produced);
+    assert_eq!(with.items_consumed, without.items_consumed);
+    assert_eq!(
+        with.energy.energy_j.to_bits(),
+        without.energy.energy_j.to_bits()
+    );
+    assert!(!recorder.take().events.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "start order")]
+fn out_of_order_core_spans_are_rejected() {
+    // Negative test for the Core::add_active_span precondition: a span
+    // starting before an already-reported span must panic loudly, not
+    // silently corrupt the timeline the energy model integrates.
+    use pcpower::sim::{Core, CoreId};
+    let mut core = Core::new(CoreId(0));
+    core.add_active_span(SimTime::from_millis(10), SimTime::from_millis(12));
+    core.add_active_span(SimTime::from_millis(4), SimTime::from_millis(6));
+}
+
+#[test]
+#[should_panic(expected = "ends before it starts")]
+fn inverted_core_span_is_rejected() {
+    use pcpower::sim::{Core, CoreId};
+    let mut core = Core::new(CoreId(0));
+    core.add_active_span(SimTime::from_millis(10), SimTime::from_millis(5));
+}
