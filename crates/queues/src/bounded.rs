@@ -106,6 +106,51 @@ impl<T> MutexQueue<T> {
         Some((v, blocked))
     }
 
+    /// Pushes as many items from `items` as fit under a *single* lock
+    /// acquisition and returns the count (a prefix of the slice; zero
+    /// when full). One lock and one condvar signal per batch is the
+    /// producer-side amortisation the batching strategies rely on.
+    pub fn push_slice(&self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        if items.is_empty() {
+            return 0;
+        }
+        let mut q = self.inner.lock();
+        let n = items.len().min(self.capacity - q.len());
+        q.extend(items[..n].iter().copied());
+        drop(q);
+        if n > 0 {
+            self.not_empty.notify_one();
+        }
+        n
+    }
+
+    /// Blocks (up to `timeout`) for the first item, then drains
+    /// *everything* queued into `out` in the same lock acquisition.
+    /// Returns `Some((count, blocked))` on success, `None` on timeout.
+    ///
+    /// This is the consumer-side batch primitive: where a
+    /// [`MutexQueue::pop_timeout`]-then-[`MutexQueue::try_pop`] loop
+    /// pays one lock per item, a session costs exactly one lock here.
+    pub fn pop_timeout_drain(&self, timeout: Duration, out: &mut Vec<T>) -> Option<(usize, bool)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.inner.lock();
+        let mut blocked = false;
+        while q.is_empty() {
+            blocked = true;
+            if self.not_empty.wait_until(&mut q, deadline).timed_out() && q.is_empty() {
+                return None;
+            }
+        }
+        let n = q.len();
+        out.extend(q.drain(..));
+        drop(q);
+        self.not_full.notify_all();
+        Some((n, blocked))
+    }
+
     /// Takes everything currently queued into `out`, without blocking.
     /// Returns the count. This is what batching consumers call after a
     /// wakeup.
@@ -214,8 +259,60 @@ mod tests {
     }
 
     #[test]
+    fn push_slice_takes_prefix_and_signals() {
+        let q = MutexQueue::<u32>::new(4);
+        assert_eq!(q.push_slice(&[]), 0);
+        assert_eq!(q.push_slice(&[1, 2, 3]), 3);
+        assert_eq!(q.push_slice(&[4, 5, 6]), 1, "clips at capacity");
+        assert_eq!(q.push_slice(&[7]), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out), 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_timeout_drain_batches_one_lock() {
+        let q = MutexQueue::<u32>::new(8);
+        for i in 0..5 {
+            q.push(i);
+        }
+        let mut out = Vec::new();
+        let (n, blocked) = q
+            .pop_timeout_drain(Duration::from_millis(10), &mut out)
+            .expect("items present");
+        assert_eq!(n, 5);
+        assert!(!blocked);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(q
+            .pop_timeout_drain(Duration::from_millis(5), &mut out)
+            .is_none());
+    }
+
+    #[test]
+    fn pop_timeout_drain_wakes_on_push() {
+        let q = Arc::new(MutexQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || {
+            let mut out = Vec::new();
+            let got = q2.pop_timeout_drain(Duration::from_secs(5), &mut out);
+            (got, out)
+        });
+        thread::sleep(Duration::from_millis(20));
+        q.push(7);
+        let (got, out) = consumer.join().unwrap();
+        let (n, blocked) = got.expect("push must wake the drain");
+        assert_eq!(n, 1);
+        assert!(blocked, "consumer must report it blocked");
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
     fn producer_consumer_stress() {
-        const N: u64 = 20_000;
+        const N: u64 = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            20_000
+        };
         let q = Arc::new(MutexQueue::new(25));
         let qp = Arc::clone(&q);
         let producer = thread::spawn(move || {

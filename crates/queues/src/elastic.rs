@@ -29,6 +29,13 @@ use std::sync::Arc;
 /// paper-scale buffer (25–100 items) spans a handful of segments.
 const SEGMENT_CAP: usize = 16;
 
+/// Upper bound on recycled segments kept per buffer. Emptied segments go
+/// to a free list instead of the allocator, so the steady-state
+/// fill/drain cycle of a batching consumer allocates nothing; the bound
+/// keeps a buffer that briefly grew huge from pinning that memory
+/// forever.
+const FREE_SEGMENTS_MAX: usize = 8;
+
 /// The pre-allocated global capacity pool shared by all consumers on a
 /// system (`B_g` in the paper).
 #[derive(Debug)]
@@ -151,6 +158,10 @@ pub struct ElasticBuffer<T> {
     cap: usize,
     len: usize,
     segments: VecDeque<VecDeque<T>>,
+    /// Recycled (empty) segments awaiting reuse, capped at
+    /// [`FREE_SEGMENTS_MAX`]. Purely an allocation cache: it never
+    /// affects FIFO order, occupancy, or pool accounting.
+    free: Vec<VecDeque<T>>,
     /// Event-trace handle (disabled by default) and the pair index used
     /// as the `owner` field of emitted `Buffer*` events.
     trace: TraceHandle,
@@ -187,6 +198,7 @@ impl<T> ElasticBuffer<T> {
             cap: initial,
             len: 0,
             segments: VecDeque::new(),
+            free: Vec::new(),
             trace: TraceHandle::disabled(),
             owner: 0,
         })
@@ -232,6 +244,23 @@ impl<T> ElasticBuffer<T> {
         self.len >= self.capacity()
     }
 
+    /// Returns an emptied segment to the free list (or the allocator,
+    /// past the cap).
+    fn recycle(&mut self, segment: VecDeque<T>) {
+        debug_assert!(segment.is_empty(), "only empty segments are recycled");
+        if self.free.len() < FREE_SEGMENTS_MAX {
+            self.free.push(segment);
+        }
+    }
+
+    /// Takes a segment from the free list, falling back to a fresh
+    /// allocation only when the list is empty.
+    fn fresh_segment(&mut self) -> VecDeque<T> {
+        self.free
+            .pop()
+            .unwrap_or_else(|| VecDeque::with_capacity(SEGMENT_CAP))
+    }
+
     /// Pushes an item; reports [`Overflow`] at capacity.
     pub fn push(&mut self, value: T) -> Result<(), Overflow<T>> {
         if self.is_full() {
@@ -243,8 +272,8 @@ impl<T> ElasticBuffer<T> {
             .map(|s| s.len() >= SEGMENT_CAP)
             .unwrap_or(true);
         if need_new_segment {
-            self.segments
-                .push_back(VecDeque::with_capacity(SEGMENT_CAP));
+            let segment = self.fresh_segment();
+            self.segments.push_back(segment);
         }
         self.segments
             .back_mut()
@@ -259,18 +288,23 @@ impl<T> ElasticBuffer<T> {
         let front = self.segments.front_mut()?;
         let value = front.pop_front()?;
         if front.is_empty() {
-            self.segments.pop_front();
+            let emptied = self.segments.pop_front().expect("front exists");
+            self.recycle(emptied);
         }
         self.len -= 1;
         Some(value)
     }
 
     /// Drains all items into `out` in FIFO order; returns the count.
+    /// Emptied segments are recycled, so a batching consumer's
+    /// steady-state fill/drain cycle stops touching the allocator.
     pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
         let mut n = 0;
-        for mut seg in self.segments.drain(..) {
+        out.reserve(self.len);
+        while let Some(mut seg) = self.segments.pop_front() {
             n += seg.len();
             out.extend(seg.drain(..));
+            self.recycle(seg);
         }
         self.len = 0;
         n
@@ -494,6 +528,48 @@ mod tests {
         assert_eq!(buf.drain_into(&mut out), 40);
         assert_eq!(out, (0..40).collect::<Vec<_>>());
         assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn drain_recycles_segments_and_push_reuses_them() {
+        let (_pool, mut buf) = pool_and_buffer(200, 100);
+        for i in 0..100u64 {
+            buf.push(i).unwrap();
+        }
+        let spanned = buf.segments.len();
+        assert!(spanned > 1, "100 items must span several segments");
+        let mut out = Vec::new();
+        buf.drain_into(&mut out);
+        assert_eq!(
+            buf.free.len(),
+            spanned.min(FREE_SEGMENTS_MAX),
+            "emptied segments land on the free list, capped"
+        );
+        // Refill: segments come back off the free list, not the
+        // allocator — and FIFO semantics are untouched.
+        let free_before = buf.free.len();
+        for i in 0..(SEGMENT_CAP as u64 * 2) {
+            buf.push(i).unwrap();
+        }
+        assert_eq!(buf.free.len(), free_before - 2, "two segments reused");
+        for i in 0..(SEGMENT_CAP as u64 * 2) {
+            assert_eq!(buf.pop(), Some(i));
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pop_recycles_emptied_front_segment() {
+        let (_pool, mut buf) = pool_and_buffer(100, 50);
+        for i in 0..(SEGMENT_CAP as u64 + 1) {
+            buf.push(i).unwrap();
+        }
+        assert!(buf.free.is_empty());
+        for i in 0..(SEGMENT_CAP as u64) {
+            assert_eq!(buf.pop(), Some(i));
+        }
+        assert_eq!(buf.free.len(), 1, "front segment recycled when emptied");
+        assert_eq!(buf.pop(), Some(SEGMENT_CAP as u64));
     }
 
     #[test]

@@ -19,16 +19,29 @@
 //!   grow and shrink against a pre-allocated [`elastic::GlobalPool`]
 //!   ("implemented using linked lists and is, hence, not actual contiguous
 //!   resizing", §V-C).
+//! * [`backoff`] — bounded spin-then-yield backoff shared by every spin
+//!   site (tests, benches, the semaphore's spin-then-park fast path).
+//!
+//! The queues form the *native fast path* (DESIGN.md §9): every one of
+//! them exposes batched operations — [`spsc::SpscProducer::push_slice`] /
+//! [`spsc::SpscConsumer::pop_chunk`] on the ring,
+//! [`bounded::MutexQueue::pop_timeout_drain`] and
+//! [`semqueue::SemQueueConsumer::pop_timeout_drain`] on the blocking
+//! queues — so a batch costs one synchronisation transaction, not one
+//! per item. That is the paper's amortisation argument applied to the
+//! queue substrate itself.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backoff;
 pub mod bounded;
 pub mod elastic;
 pub mod semaphore;
 pub mod semqueue;
 pub mod spsc;
 
+pub use backoff::Backoff;
 pub use bounded::MutexQueue;
 pub use elastic::{ElasticBuffer, GlobalPool};
 pub use semaphore::Semaphore;

@@ -83,6 +83,29 @@ impl<T> SemQueueProducer<T> {
         Ok(())
     }
 
+    /// Pushes as many items from `items` as there are free slots, without
+    /// blocking, and returns the count (a prefix of the slice).
+    ///
+    /// One `slots` batch-take, one ring [`SpscProducer::push_slice`] and
+    /// one `items` batch-release — three synchronisation points for the
+    /// whole batch instead of three per item.
+    pub fn push_slice(&self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        if items.is_empty() {
+            return 0;
+        }
+        let granted = self.shared.slots.try_acquire_many(items.len());
+        if granted == 0 {
+            return 0;
+        }
+        let pushed = self.ring.push_slice(&items[..granted]);
+        debug_assert_eq!(pushed, granted, "slots semaphore counted these slots");
+        self.shared.items.release(pushed);
+        pushed
+    }
+
     /// Buffer capacity.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
@@ -131,15 +154,31 @@ impl<T> SemQueueConsumer<T> {
     /// producer signals a full buffer.
     pub fn wait_drain(&self, out: &mut Vec<T>) -> (usize, bool) {
         let (taken, blocked) = self.shared.items.acquire_many(self.shared.capacity);
-        for _ in 0..taken {
-            out.push(
-                self.ring
-                    .pop()
-                    .unwrap_or_else(|| unreachable!("items semaphore counted these")),
-            );
-        }
+        let popped = self.ring.pop_chunk(out, taken);
+        debug_assert_eq!(popped, taken, "items semaphore counted these");
         self.shared.slots.release(taken);
         (taken, blocked)
+    }
+
+    /// Blocks (up to `timeout`) for the first item, then drains every
+    /// item currently accounted for into `out` in the same transaction.
+    /// Returns `Some((count, blocked))` on success, `None` on timeout.
+    ///
+    /// The consumer-side batch primitive matching
+    /// [`MutexQueue::pop_timeout_drain`](crate::MutexQueue::pop_timeout_drain):
+    /// one semaphore wait, one non-blocking batch-take of the rest, one
+    /// ring [`SpscConsumer::pop_chunk`] and one `slots` batch-release per
+    /// session.
+    pub fn pop_timeout_drain(&self, timeout: Duration, out: &mut Vec<T>) -> Option<(usize, bool)> {
+        let blocked = self.shared.items.acquire_timeout(timeout)?;
+        let taken = 1 + self
+            .shared
+            .items
+            .try_acquire_many(self.shared.capacity.saturating_sub(1));
+        let popped = self.ring.pop_chunk(out, taken);
+        debug_assert_eq!(popped, taken, "items semaphore counted these");
+        self.shared.slots.release(taken);
+        Some((taken, blocked))
     }
 
     /// Number of buffered items (racy; diagnostics only).
@@ -218,8 +257,44 @@ mod tests {
     }
 
     #[test]
+    fn push_slice_respects_free_slots() {
+        let (p, c) = SemQueue::<u32>::new(4);
+        assert_eq!(p.push_slice(&[]), 0);
+        assert_eq!(p.push_slice(&[1, 2, 3]), 3);
+        assert_eq!(p.push_slice(&[4, 5, 6]), 1, "clips at capacity");
+        assert_eq!(p.push_slice(&[7]), 0);
+        let mut out = Vec::new();
+        let (n, _) = c.wait_drain(&mut out);
+        assert_eq!(n, 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_timeout_drain_takes_session() {
+        let (p, c) = SemQueue::<u32>::new(8);
+        assert_eq!(p.push_slice(&[1, 2, 3, 4, 5]), 5);
+        let mut out = Vec::new();
+        let (n, blocked) = c
+            .pop_timeout_drain(Duration::from_millis(10), &mut out)
+            .expect("items present");
+        assert_eq!(n, 5);
+        assert!(!blocked);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(c
+            .pop_timeout_drain(Duration::from_millis(5), &mut out)
+            .is_none());
+        // The slots must have been returned: the queue accepts a full
+        // batch again.
+        assert_eq!(p.push_slice(&[9; 8]), 8);
+    }
+
+    #[test]
     fn cross_thread_stress_ordered() {
-        const N: u64 = 20_000;
+        const N: u64 = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            20_000
+        };
         let (p, c) = SemQueue::new(25);
         let producer = thread::spawn(move || {
             for i in 0..N {

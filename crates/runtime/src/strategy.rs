@@ -169,20 +169,22 @@ pub fn spawn_busy(ctx: PairContext, yielding: bool) -> PairHandle {
     }
 }
 
-/// The item-at-a-time consumer endpoint: both the Mutex and Sem queues
-/// expose this same blocking surface, so one consumer loop serves both.
+/// The session-draining consumer endpoint: both the Mutex and Sem queues
+/// expose the same batched blocking surface
+/// ([`MutexQueue::pop_timeout_drain`] /
+/// [`SemQueueConsumer::pop_timeout_drain`]), so one consumer loop serves
+/// both.
 trait ItemEndpoint: Send + 'static {
-    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)>;
-    fn try_pop(&self) -> Option<Instant>;
+    /// Blocks (up to `timeout`) for the first item, then drains the whole
+    /// session into `out` in one synchronisation transaction. Returns
+    /// `Some((count, blocked))` or `None` on timeout.
+    fn pop_session(&self, timeout: Duration, out: &mut Vec<Instant>) -> Option<(usize, bool)>;
     fn is_empty(&self) -> bool;
 }
 
 impl ItemEndpoint for Arc<MutexQueue<Instant>> {
-    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)> {
-        MutexQueue::pop_timeout(self, timeout)
-    }
-    fn try_pop(&self) -> Option<Instant> {
-        MutexQueue::try_pop(self)
+    fn pop_session(&self, timeout: Duration, out: &mut Vec<Instant>) -> Option<(usize, bool)> {
+        MutexQueue::pop_timeout_drain(self, timeout, out)
     }
     fn is_empty(&self) -> bool {
         MutexQueue::is_empty(self)
@@ -190,11 +192,8 @@ impl ItemEndpoint for Arc<MutexQueue<Instant>> {
 }
 
 impl ItemEndpoint for SemQueueConsumer<Instant> {
-    fn pop_timeout(&self, timeout: Duration) -> Option<(Instant, bool)> {
-        SemQueueConsumer::pop_timeout(self, timeout)
-    }
-    fn try_pop(&self) -> Option<Instant> {
-        SemQueueConsumer::try_pop(self)
+    fn pop_session(&self, timeout: Duration, out: &mut Vec<Instant>) -> Option<(usize, bool)> {
+        SemQueueConsumer::pop_timeout_drain(self, timeout, out)
     }
     fn is_empty(&self) -> bool {
         SemQueueConsumer::is_empty(self)
@@ -202,7 +201,11 @@ impl ItemEndpoint for SemQueueConsumer<Instant> {
 }
 
 /// The §III item-driven consumer loop: block for the first item of a
-/// session (one thread wakeup), drain the rest without blocking, repeat.
+/// session (one thread wakeup), drain the rest of the session in the same
+/// transaction, repeat. The batched drain replaces the old
+/// pop-one-then-try-pop loop — one lock (or semaphore transaction) per
+/// session instead of one per item, without changing the session
+/// semantics the wakeup/invocation counters observe.
 fn spawn_item_consumer<Q: ItemEndpoint>(
     queue: Q,
     counters: Arc<PairCounters>,
@@ -212,34 +215,34 @@ fn spawn_item_consumer<Q: ItemEndpoint>(
     pair: u32,
     capacity: usize,
 ) -> JoinHandle<()> {
-    thread::spawn(move || loop {
-        match queue.pop_timeout(STOP_POLL) {
-            Some((at, blocked)) => {
-                if blocked {
-                    counters.add_wakeup();
-                    counters.add_invocation(false, false);
-                    emit(&events, &clock, || TraceEvent::Wakeup { pair });
+    thread::spawn(move || {
+        let mut session: Vec<Instant> = Vec::with_capacity(capacity);
+        loop {
+            session.clear();
+            match queue.pop_session(STOP_POLL, &mut session) {
+                Some((n, blocked)) => {
+                    if blocked {
+                        counters.add_wakeup();
+                        counters.add_invocation(false, false);
+                        emit(&events, &clock, || TraceEvent::Wakeup { pair });
+                    }
+                    let _busy = counters.busy_timer();
+                    let now = Instant::now();
+                    for &at in &session {
+                        counters.add_consumed(1);
+                        counters.add_latency(at, now);
+                    }
+                    emit(&events, &clock, || TraceEvent::Invoke {
+                        pair,
+                        trigger: TraceTrigger::Item,
+                        batch: n as u64,
+                        capacity: capacity as u64,
+                    });
                 }
-                let _busy = counters.busy_timer();
-                counters.add_consumed(1);
-                counters.add_latency(at, Instant::now());
-                // Drain the rest of the session without blocking.
-                let mut session = 1u64;
-                while let Some(at) = queue.try_pop() {
-                    counters.add_consumed(1);
-                    counters.add_latency(at, Instant::now());
-                    session += 1;
-                }
-                emit(&events, &clock, || TraceEvent::Invoke {
-                    pair,
-                    trigger: TraceTrigger::Item,
-                    batch: session,
-                    capacity: capacity as u64,
-                });
-            }
-            None => {
-                if stop.load(Ordering::Relaxed) && queue.is_empty() {
-                    break;
+                None => {
+                    if stop.load(Ordering::Relaxed) && queue.is_empty() {
+                        break;
+                    }
                 }
             }
         }

@@ -8,7 +8,12 @@
 //!
 //! Cancellation is lazy: a cancelled event stays in the heap and is skipped
 //! on pop. This gives O(1) cancellation, which matters because the PBPL
-//! core manager frequently re-targets its "next slot" timer.
+//! core manager frequently re-targets its "next slot" timer. To keep that
+//! laziness from leaking memory under sustained re-targeting, the heap is
+//! compacted (rebuilt from the live entries) whenever tombstones come to
+//! outnumber pending events past a small floor — amortised O(1) per
+//! cancellation, and invisible to pop order, which is a total order on
+//! `(at, seq)`.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -107,7 +112,27 @@ impl<E> EventQueue<E> {
     /// was still pending, `false` if it had already fired or been
     /// cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let cancelled = self.pending.remove(&id.0);
+        if cancelled {
+            self.maybe_compact();
+        }
+        cancelled
+    }
+
+    /// Rebuilds the heap from its live entries once tombstones dominate.
+    /// The floor stops tiny queues from rebuilding constantly; the 2×
+    /// ratio bounds wasted memory at half the heap while keeping the
+    /// amortised rebuild cost constant per cancellation.
+    fn maybe_compact(&mut self) {
+        const COMPACT_FLOOR: usize = 64;
+        if self.heap.len() < COMPACT_FLOOR || self.heap.len() <= 2 * self.pending.len() {
+            return;
+        }
+        let pending = &self.pending;
+        self.heap = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|s| pending.contains(&s.seq))
+            .collect();
     }
 
     /// The earliest pending event time, if any.
@@ -243,6 +268,50 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_shrinks_heap_and_preserves_order() {
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        let mut ids = Vec::new();
+        // 300 events; cancel all but every 10th so tombstones dominate.
+        for i in 0u64..300 {
+            let at = t((i * 37) % 1000);
+            ids.push((q.schedule(at, i), at));
+        }
+        for (n, (id, at)) in ids.into_iter().enumerate() {
+            if n % 10 == 0 {
+                live.push((at, n as u64));
+            } else {
+                q.cancel(id);
+            }
+        }
+        assert_eq!(q.len(), live.len());
+        assert!(
+            q.heap.len() <= 2 * q.pending.len(),
+            "heap must have compacted: {} entries for {} pending",
+            q.heap.len(),
+            q.pending.len()
+        );
+        live.sort();
+        for (at, payload) in live {
+            assert_eq!(q.pop(), Some((at, payload)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn small_queues_skip_compaction() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0u64..20).map(|i| q.schedule(t(i), i)).collect();
+        for id in &ids[1..] {
+            q.cancel(*id);
+        }
+        // Below the floor the tombstones stay — lazy cancellation intact.
+        assert_eq!(q.heap.len(), 20);
+        assert_eq!(q.pop(), Some((t(0), 0)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -65,20 +65,25 @@ proptest! {
 
     #[test]
     fn pool_units_conserved_under_arbitrary_ops(
-        ops in prop::collection::vec((0u8..4, 1usize..60), 1..200)
+        ops in prop::collection::vec((0u8..5, 1usize..60), 1..200)
     ) {
         let total = 120usize;
         let pool = GlobalPool::new(total);
         let mut bufs: Vec<ElasticBuffer<u8>> = (0..3)
             .map(|_| ElasticBuffer::new(Arc::clone(&pool), 20).expect("fits"))
             .collect();
+        let mut sink = Vec::new();
         for (op, arg) in ops {
             let b = &mut bufs[arg % 3];
             match op {
                 0 => { b.grow_to(arg); }
                 1 => { b.shrink_to(arg % 40); }
                 2 => { let _ = b.push(0); }
-                _ => { b.pop(); }
+                3 => { b.pop(); }
+                // Batch drain: exercises the segment free list (emptied
+                // segments recycled, later pushes reuse them) under the
+                // same conservation assertions as the item ops.
+                _ => { sink.clear(); b.drain_into(&mut sink); }
             }
             let held: usize = bufs.iter().map(|b| b.capacity()).sum();
             prop_assert_eq!(held + pool.available(), total);
@@ -92,9 +97,9 @@ proptest! {
 
     #[test]
     fn traced_elastic_ops_replay_clean(
-        ops in prop::collection::vec((0u8..6, 1usize..60), 1..200)
+        ops in prop::collection::vec((0u8..7, 1usize..60), 1..200)
     ) {
-        // Random interleavings of grow/shrink/push/pop/destroy/create
+        // Random interleavings of grow/shrink/push/pop/drain/destroy/create
         // over traced elastic buffers: the direct conservation check must
         // hold at every step, and the recorded `Buffer*` event stream
         // must replay clean through the oracle (conservation after every
@@ -120,7 +125,8 @@ proptest! {
                 (1, Some(b)) => { b.shrink_to(arg % 40); }
                 (2, Some(b)) => { let _ = b.push(0); }
                 (3, Some(b)) => { b.pop(); }
-                (4, _) => { bufs[k] = None; } // destroy
+                (4, Some(b)) => { let mut out = Vec::new(); b.drain_into(&mut out); }
+                (5, _) => { bufs[k] = None; } // destroy
                 (_, slot) => {
                     if slot.is_none() {
                         bufs[k] = make(&pool, &mut next_owner); // recreate
