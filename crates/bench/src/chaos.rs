@@ -1,0 +1,415 @@
+//! Chaos sweep: every fault scenario crossed with a strategy panel,
+//! recovery metrics re-derived from the event trace.
+//!
+//! A chaos cell is a normal sweep cell plus a [`FaultPlan`] expanded
+//! from `(scenario, seed)` — bit-deterministic like everything else, so
+//! `results/chaos.json` is byte-identical for any `--threads` value and
+//! CI gates it exactly like `suite.json`. Every cell records its event
+//! stream (the recovery metrics come from the trace, not the sim's own
+//! counters) and is replayed through the extended oracle: item and pool
+//! conservation must hold *through* every injected fault.
+
+use crate::exp::Protocol;
+use crate::oracle::{self, OracleReport};
+use crate::sweep::{parallel_map, trace_capacity_from_env, GridPoint};
+use pc_core::{Experiment, RunMetrics, StrategyKind};
+use pc_faults::{ExpandEnv, FaultPlan, FaultScenario};
+use pc_trace_events::{Recorder, TraceEvent, TraceLog, Trigger};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Strategy panel of the chaos sweep: the two item-driven baselines,
+/// plain batching, vanilla PBPL, and PBPL with the degradation watchdog.
+pub fn chaos_strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Mutex,
+        StrategyKind::Sem,
+        StrategyKind::Bp,
+        StrategyKind::pbpl_default(),
+        StrategyKind::pbpl_degraded(),
+    ]
+}
+
+/// Display label; the degraded PBPL variant is tagged so both rows of
+/// the comparison are distinguishable in reports and filters.
+pub fn chaos_strategy_label(strategy: &StrategyKind) -> String {
+    match strategy {
+        StrategyKind::Pbpl(cfg) if cfg.degrade.enabled => "PBPL(degraded)".to_string(),
+        other => other.name().to_string(),
+    }
+}
+
+/// One chaos cell: a strategy under a fault scenario at one replicate.
+#[derive(Debug, Clone)]
+pub struct ChaosCellSpec {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Fault scenario the plan expands from.
+    pub scenario: FaultScenario,
+    /// Replicate index; the seed is `base_seed + replicate`.
+    pub replicate: usize,
+}
+
+/// Expands the chaos grid in canonical order: scenario-major, then
+/// strategy, then replicate — the same contract as `SweepSpec::cells`.
+pub fn chaos_cells(strategies: &[StrategyKind], replicates: usize) -> Vec<ChaosCellSpec> {
+    let mut cells = Vec::new();
+    for scenario in FaultScenario::all() {
+        for strategy in strategies {
+            for replicate in 0..replicates {
+                cells.push(ChaosCellSpec {
+                    strategy: strategy.clone(),
+                    scenario,
+                    replicate,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The single grid point every chaos cell runs at (the paper's five
+/// consumers on two cores, B₀ = 25 — Fig. 9's configuration).
+pub fn chaos_point() -> GridPoint {
+    GridPoint {
+        pairs: 5,
+        cores: 2,
+        buffer: 25,
+    }
+}
+
+/// Expands the cell's fault plan from `(scenario, seed)` and the run
+/// geometry. The pool total mirrors the sim's own construction
+/// (`B₀ · M` for batching strategies, zero otherwise).
+pub fn chaos_plan(protocol: &Protocol, cell: &ChaosCellSpec) -> FaultPlan {
+    let point = chaos_point();
+    let env = ExpandEnv {
+        horizon_ns: protocol.duration.as_nanos(),
+        pairs: point.pairs as u32,
+        cores: point.cores as u32,
+        pool_total: if cell.strategy.is_batching() {
+            (point.buffer * point.pairs) as u64
+        } else {
+            0
+        },
+    };
+    FaultPlan::expand(
+        cell.scenario,
+        protocol.base_seed + cell.replicate as u64,
+        &env,
+    )
+}
+
+/// Runs one chaos cell, always traced — the recovery metrics below are
+/// derived from the event stream.
+pub fn run_chaos_cell(protocol: &Protocol, cell: &ChaosCellSpec) -> (RunMetrics, TraceLog) {
+    let point = chaos_point();
+    let recorder = Recorder::bounded(trace_capacity_from_env());
+    let metrics = Experiment::builder()
+        .pairs(point.pairs)
+        .cores(point.cores)
+        .duration(protocol.duration)
+        .strategy(cell.strategy.clone())
+        .trace(protocol.trace.clone())
+        .seed(protocol.base_seed + cell.replicate as u64)
+        .buffer_capacity(point.buffer)
+        .faults(chaos_plan(protocol, cell))
+        .record_events(recorder.handle())
+        .run();
+    (metrics, recorder.take())
+}
+
+/// Runs `cells` on `threads` workers; results in cell order.
+pub fn execute_chaos(
+    protocol: &Protocol,
+    cells: &[ChaosCellSpec],
+    threads: usize,
+) -> Vec<(RunMetrics, TraceLog)> {
+    parallel_map(cells, threads, |cell| run_chaos_cell(protocol, cell))
+}
+
+/// Recovery metrics of one chaos cell, re-derived from its event trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RecoveryMetrics {
+    /// Faults injected over the run.
+    pub faults_injected: u64,
+    /// Faults whose window closed (always equals `faults_injected` on a
+    /// clean trace — the sim recovers open windows before teardown).
+    pub faults_recovered: u64,
+    /// Invocations triggered by buffer overflow.
+    pub overflow_wakes: u64,
+    /// Overflow invocations that *continue* a run — each one immediately
+    /// follows another overflow invocation of the same pair with nothing
+    /// scheduled in between. This is the sustained-thrashing currency the
+    /// degradation watchdog exists to reduce: isolated overflows are a
+    /// prediction being caught out once, consecutive ones are the planner
+    /// failing to adapt.
+    pub consec_overflow_wakes: u64,
+    /// Invocations triggered by a reserved slot or periodic timer.
+    pub scheduled_wakes: u64,
+    /// Longest run of consecutive overflow invocations of any single
+    /// pair (the burst a rate shock forces before resizing catches up).
+    pub max_overflow_burst: u64,
+    /// Worst case, over all fault recoveries, of the sim-time gap from
+    /// the `FaultRecovered` event to that run's next scheduled-trigger
+    /// invocation — how long the system took to get back onto planned
+    /// wakeups. Zero when no fault fired or nothing scheduled followed.
+    pub max_recovery_lag_ns: u64,
+}
+
+/// Scans a trace for the chaos table's recovery metrics.
+pub fn recovery_metrics(log: &TraceLog) -> RecoveryMetrics {
+    let mut m = RecoveryMetrics {
+        faults_injected: 0,
+        faults_recovered: 0,
+        overflow_wakes: 0,
+        consec_overflow_wakes: 0,
+        scheduled_wakes: 0,
+        max_overflow_burst: 0,
+        max_recovery_lag_ns: 0,
+    };
+    // pair -> current consecutive-overflow run length.
+    let mut bursts: BTreeMap<u32, u64> = BTreeMap::new();
+    // Open recovery gaps: time of each FaultRecovered not yet followed
+    // by a scheduled invocation.
+    let mut open_recoveries: Vec<u64> = Vec::new();
+    for ev in &log.events {
+        match &ev.kind {
+            TraceEvent::FaultInjected { .. } => m.faults_injected += 1,
+            TraceEvent::FaultRecovered { .. } => {
+                m.faults_recovered += 1;
+                open_recoveries.push(ev.t_ns);
+            }
+            TraceEvent::Invoke { pair, trigger, .. } => match trigger {
+                Trigger::Overflow => {
+                    m.overflow_wakes += 1;
+                    let run = bursts.entry(*pair).or_insert(0);
+                    *run += 1;
+                    if *run > 1 {
+                        m.consec_overflow_wakes += 1;
+                    }
+                    m.max_overflow_burst = m.max_overflow_burst.max(*run);
+                }
+                Trigger::Scheduled => {
+                    m.scheduled_wakes += 1;
+                    bursts.insert(*pair, 0);
+                    for t in open_recoveries.drain(..) {
+                        m.max_recovery_lag_ns =
+                            m.max_recovery_lag_ns.max(ev.t_ns.saturating_sub(t));
+                    }
+                }
+                Trigger::Item => {
+                    bursts.insert(*pair, 0);
+                }
+            },
+            _ => {}
+        }
+    }
+    m
+}
+
+/// One row of `results/chaos.json`: cell identity, the determinism
+/// currency (energy bits, digest), and the recovery metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosCellReport {
+    /// Strategy label (`PBPL(degraded)` tags the watchdog variant).
+    pub strategy: String,
+    /// Scenario name (stable filter key).
+    pub scenario: String,
+    /// Seed the cell ran under.
+    pub seed: u64,
+    /// Faults in the expanded plan.
+    pub plan_faults: usize,
+    /// Raw bits of the energy reading (exact-equality currency).
+    pub energy_j_bits: u64,
+    /// Energy reading for human eyes.
+    pub energy_j: f64,
+    /// Items produced over the run.
+    pub items_produced: u64,
+    /// Items consumed (== produced on a clean run).
+    pub items_consumed: u64,
+    /// Consumer wakeups charged by the power model.
+    pub wakeups: u64,
+    /// Events the cell's recorder captured.
+    pub trace_events: u64,
+    /// FNV-1a digest of the cell's event stream.
+    pub trace_digest: u64,
+    /// Recovery metrics derived from the trace.
+    pub recovery: RecoveryMetrics,
+}
+
+/// Builds the report row for one executed cell (oracle result handled
+/// separately — violations fail the run rather than ride in the JSON).
+pub fn chaos_cell_report(
+    protocol: &Protocol,
+    cell: &ChaosCellSpec,
+    metrics: &RunMetrics,
+    log: &TraceLog,
+) -> ChaosCellReport {
+    ChaosCellReport {
+        strategy: chaos_strategy_label(&cell.strategy),
+        scenario: cell.scenario.name().to_string(),
+        seed: protocol.base_seed + cell.replicate as u64,
+        plan_faults: chaos_plan(protocol, cell).len(),
+        energy_j_bits: metrics.energy.energy_j.to_bits(),
+        energy_j: metrics.energy.energy_j,
+        items_produced: metrics.items_produced,
+        items_consumed: metrics.items_consumed,
+        wakeups: metrics.energy.wakeups,
+        trace_events: log.events.len() as u64,
+        trace_digest: log.digest(),
+        recovery: recovery_metrics(log),
+    }
+}
+
+/// Replays the extended oracle over one cell's trace.
+pub fn chaos_oracle(log: &TraceLog) -> OracleReport {
+    oracle::check(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_sim::SimDuration;
+    use pc_trace::WorldCupConfig;
+
+    fn tiny_protocol() -> Protocol {
+        Protocol {
+            duration: SimDuration::from_millis(60),
+            replicates: 1,
+            base_seed: 11,
+            trace: WorldCupConfig::quick_test(),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn grid_is_scenarios_by_strategies_by_replicates() {
+        let cells = chaos_cells(&chaos_strategies(), 2);
+        assert_eq!(cells.len(), 8 * 5 * 2);
+        assert_eq!(cells[0].scenario, FaultScenario::Baseline);
+        assert_eq!(cells[0].replicate, 0);
+        assert_eq!(cells[1].replicate, 1);
+    }
+
+    #[test]
+    fn baseline_plan_is_empty_and_faulty_scenarios_are_not() {
+        let p = tiny_protocol();
+        for cell in chaos_cells(&chaos_strategies(), 1) {
+            let plan = chaos_plan(&p, &cell);
+            if cell.scenario == FaultScenario::Baseline {
+                assert!(plan.is_empty());
+            } else {
+                assert!(!plan.is_empty(), "{} plan empty", cell.scenario.name());
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_cells_run_clean_through_the_oracle() {
+        let p = tiny_protocol();
+        // One representative faulty scenario per strategy class keeps
+        // the test fast; the chaos binary covers the full cross.
+        for (strategy, scenario) in [
+            (StrategyKind::Mutex, FaultScenario::RateShock),
+            (StrategyKind::Bp, FaultScenario::ConsumerSlowdown),
+            (StrategyKind::pbpl_default(), FaultScenario::DroppedWakeup),
+            (StrategyKind::pbpl_degraded(), FaultScenario::PoolSqueeze),
+            (StrategyKind::pbpl_degraded(), FaultScenario::Chaos),
+        ] {
+            let cell = ChaosCellSpec {
+                strategy,
+                scenario,
+                replicate: 0,
+            };
+            let (metrics, log) = run_chaos_cell(&p, &cell);
+            assert_eq!(metrics.items_produced, metrics.items_consumed);
+            let report = chaos_oracle(&log);
+            assert!(
+                report.is_clean(),
+                "{} under {}: {:?}",
+                chaos_strategy_label(&cell.strategy),
+                scenario.name(),
+                report.violations
+            );
+            let rec = recovery_metrics(&log);
+            assert_eq!(rec.faults_injected, rec.faults_recovered);
+            assert!(rec.faults_injected > 0, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_chaos_bits() {
+        let p = tiny_protocol();
+        let cells = chaos_cells(&[StrategyKind::Bp, StrategyKind::pbpl_degraded()], 1);
+        let serial = execute_chaos(&p, &cells, 1);
+        let parallel = execute_chaos(&p, &cells, 4);
+        for ((ms, ls), (mp, lp)) in serial.iter().zip(&parallel) {
+            assert_eq!(ms.energy.energy_j.to_bits(), mp.energy.energy_j.to_bits());
+            assert_eq!(ls.digest(), lp.digest());
+        }
+    }
+
+    #[test]
+    fn recovery_metrics_count_bursts_and_lag() {
+        use pc_trace_events::{Event, TRACE_SCHEMA_VERSION};
+        let kinds = vec![
+            TraceEvent::FaultInjected {
+                id: 0,
+                kind: "rate_shock".into(),
+                pair: 0,
+                core: u32::MAX,
+                param: 3000,
+                pool_available: u64::MAX,
+            },
+            TraceEvent::Invoke {
+                pair: 0,
+                trigger: Trigger::Overflow,
+                batch: 25,
+                capacity: 25,
+            },
+            TraceEvent::Invoke {
+                pair: 0,
+                trigger: Trigger::Overflow,
+                batch: 25,
+                capacity: 25,
+            },
+            TraceEvent::FaultRecovered {
+                id: 0,
+                kind: "rate_shock".into(),
+                pair: 0,
+                core: u32::MAX,
+                param: 3000,
+                pool_available: u64::MAX,
+            },
+            TraceEvent::Invoke {
+                pair: 0,
+                trigger: Trigger::Scheduled,
+                batch: 10,
+                capacity: 25,
+            },
+        ];
+        let log = TraceLog {
+            schema_version: TRACE_SCHEMA_VERSION,
+            events: kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, kind)| Event {
+                    seq: i as u64,
+                    t_ns: i as u64 * 100,
+                    kind,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let m = recovery_metrics(&log);
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.faults_recovered, 1);
+        assert_eq!(m.overflow_wakes, 2);
+        assert_eq!(m.consec_overflow_wakes, 1);
+        assert_eq!(m.scheduled_wakes, 1);
+        assert_eq!(m.max_overflow_burst, 2);
+        // Recovery at t=300, next scheduled invoke at t=400.
+        assert_eq!(m.max_recovery_lag_ns, 100);
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod exp;
 pub mod oracle;
 pub mod sweep;

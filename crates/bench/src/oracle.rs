@@ -20,6 +20,13 @@
 //!    `SlotRelease` names the slot actually held, and every consumer a
 //!    `SlotDispatch` wakes holds a live reservation for that exact slot
 //!    (which the dispatch then consumes, mirroring `take_due`).
+//! 5. **Fault-window pairing** — every `FaultInjected` is eventually
+//!    matched by a `FaultRecovered` with the same id and kind (the sim
+//!    recovers still-open windows before teardown), ids never overlap
+//!    while active, and a `pool_squeeze` returns exactly the units it
+//!    grabbed. Squeezed units count toward pool conservation, so the
+//!    Σ capacities + squeezed + available == total ledger balances
+//!    through every fault.
 //!
 //! A truncated trace (`dropped > 0`) is reported as a violation: a
 //! partial stream cannot prove conservation, and silently passing would
@@ -80,6 +87,7 @@ pub fn check(log: &TraceLog) -> OracleReport {
     check_pool(&log.events, &mut violations);
     check_core_spans(&log.events, &mut violations);
     check_reservations(&log.events, &mut violations);
+    check_faults(&log.events, &mut violations);
 
     OracleReport {
         events: log.events.len() as u64,
@@ -117,10 +125,15 @@ fn check_items(events: &[Event], violations: &mut Vec<String>) {
 
 /// Invariant 2: replay every `Buffer*` transaction against the pool.
 /// Sim-only — a trace with no `BufferCreate` events passes trivially.
+/// `pool_squeeze` fault windows reserve units out of the pool without a
+/// buffer owning them; a ledger of active squeezes keeps the
+/// conservation sum balanced through each window.
 fn check_pool(events: &[Event], violations: &mut Vec<String>) {
     // owner -> held capacity. Owners are unique per run (one elastic
     // buffer per PBPL pair).
     let mut held: BTreeMap<u32, u64> = BTreeMap::new();
+    // fault id -> units an active pool_squeeze holds hostage.
+    let mut squeezes: BTreeMap<u32, u64> = BTreeMap::new();
     let mut total: Option<u64> = None;
     for ev in events {
         let seq = ev.seq;
@@ -145,7 +158,7 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                         "pool: seq {seq} BufferCreate for owner {owner} which already holds capacity"
                     ));
                 }
-                expect_conserved(seq, &held, *pool_available, total, violations);
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
             }
             TraceEvent::BufferGrow {
                 owner,
@@ -168,7 +181,7 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                         "pool: seq {seq} BufferGrow for owner {owner} with no live buffer"
                     )),
                 }
-                expect_conserved(seq, &held, *pool_available, total, violations);
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
             }
             TraceEvent::BufferShrink {
                 owner,
@@ -190,7 +203,7 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                         "pool: seq {seq} BufferShrink for owner {owner} with no live buffer"
                     )),
                 }
-                expect_conserved(seq, &held, *pool_available, total, violations);
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
             }
             TraceEvent::BufferDestroy {
                 owner,
@@ -206,26 +219,75 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                         "pool: seq {seq} BufferDestroy for owner {owner} with no live buffer"
                     )),
                 }
-                expect_conserved(seq, &held, *pool_available, total, violations);
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
+            }
+            TraceEvent::FaultInjected {
+                id,
+                kind,
+                param,
+                pool_available,
+                ..
+            } => {
+                // `u64::MAX` is the no-pool sentinel: nothing to replay.
+                if *pool_available == u64::MAX {
+                    continue;
+                }
+                if kind == "pool_squeeze" && squeezes.insert(*id, *param).is_some() {
+                    violations.push(format!(
+                        "pool: seq {seq} pool_squeeze fault {id} injected while already active"
+                    ));
+                }
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
+            }
+            TraceEvent::FaultRecovered {
+                id,
+                kind,
+                param,
+                pool_available,
+                ..
+            } => {
+                if *pool_available == u64::MAX {
+                    continue;
+                }
+                if kind == "pool_squeeze" {
+                    match squeezes.remove(id) {
+                        Some(units) if units == *param => {}
+                        Some(units) => violations.push(format!(
+                            "pool: seq {seq} pool_squeeze fault {id} returned {param} units but squeezed {units}"
+                        )),
+                        None => violations.push(format!(
+                            "pool: seq {seq} pool_squeeze fault {id} recovered without an active squeeze"
+                        )),
+                    }
+                }
+                expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
             }
             _ => {}
         }
     }
+    for (id, units) in &squeezes {
+        violations.push(format!(
+            "pool: pool_squeeze fault {id} still holds {units} units at end of trace"
+        ));
+    }
 }
 
-/// After every pool transaction: Σ held capacities + available == total.
+/// After every pool transaction: Σ held capacities + Σ active squeezes
+/// + available == total.
 fn expect_conserved(
     seq: u64,
     held: &BTreeMap<u32, u64>,
+    squeezes: &BTreeMap<u32, u64>,
     pool_available: u64,
     total: Option<u64>,
     violations: &mut Vec<String>,
 ) {
     let Some(total) = total else { return };
     let in_buffers: u64 = held.values().sum();
-    if in_buffers + pool_available != total {
+    let squeezed: u64 = squeezes.values().sum();
+    if in_buffers + squeezed + pool_available != total {
         violations.push(format!(
-            "pool conservation: seq {seq}: Σ capacities {in_buffers} + available {pool_available} != total {total}"
+            "pool conservation: seq {seq}: Σ capacities {in_buffers} + squeezed {squeezed} + available {pool_available} != total {total}"
         ));
     }
 }
@@ -340,6 +402,42 @@ fn check_reservations(events: &[Event], violations: &mut Vec<String>) {
             }
             _ => {}
         }
+    }
+}
+
+/// Invariant 5: fault windows pair up. Injections carry fresh ids,
+/// recoveries name an active id with the same kind, and nothing stays
+/// open past the end of the trace (the sim recovers still-active faults
+/// before teardown, so a dangling window means lost rollback).
+fn check_faults(events: &[Event], violations: &mut Vec<String>) {
+    // fault id -> kind of the active window.
+    let mut active: BTreeMap<u32, String> = BTreeMap::new();
+    for ev in events {
+        let seq = ev.seq;
+        match &ev.kind {
+            TraceEvent::FaultInjected { id, kind, .. } => {
+                if let Some(prev) = active.insert(*id, kind.clone()) {
+                    violations.push(format!(
+                        "faults: seq {seq} fault {id} ({kind}) injected while {prev} window with the same id is open"
+                    ));
+                }
+            }
+            TraceEvent::FaultRecovered { id, kind, .. } => match active.remove(id) {
+                Some(injected) if injected == *kind => {}
+                Some(injected) => violations.push(format!(
+                    "faults: seq {seq} fault {id} recovered as {kind} but was injected as {injected}"
+                )),
+                None => violations.push(format!(
+                    "faults: seq {seq} fault {id} ({kind}) recovered without an open window"
+                )),
+            },
+            _ => {}
+        }
+    }
+    for (id, kind) in &active {
+        violations.push(format!(
+            "faults: fault {id} ({kind}) still open at end of trace — rollback never ran"
+        ));
     }
 }
 
@@ -614,6 +712,107 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("no reservation")));
+    }
+
+    fn inject(id: u32, kind: &str, param: u64, pool_available: u64) -> TraceEvent {
+        TraceEvent::FaultInjected {
+            id,
+            kind: kind.into(),
+            pair: u32::MAX,
+            core: u32::MAX,
+            param,
+            pool_available,
+        }
+    }
+
+    fn recover(id: u32, kind: &str, param: u64, pool_available: u64) -> TraceEvent {
+        TraceEvent::FaultRecovered {
+            id,
+            kind: kind.into(),
+            pair: u32::MAX,
+            core: u32::MAX,
+            param,
+            pool_available,
+        }
+    }
+
+    #[test]
+    fn pool_squeeze_window_conserves() {
+        // 50-unit pool, one 25-cap buffer; a squeeze grabs 20 for a
+        // while. Conservation must hold at every step of the window.
+        let report = check(&log(vec![
+            TraceEvent::BufferCreate {
+                owner: 0,
+                capacity: 25,
+                pool_available: 25,
+                pool_total: 50,
+            },
+            inject(3, "pool_squeeze", 20, 5),
+            recover(3, "pool_squeeze", 20, 25),
+            TraceEvent::BufferDestroy {
+                owner: 0,
+                released: 25,
+                pool_available: 50,
+            },
+        ]));
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pool_squeeze_leak_is_reported() {
+        // The recovery claims fewer units than the squeeze grabbed.
+        let report = check(&log(vec![
+            TraceEvent::BufferCreate {
+                owner: 0,
+                capacity: 25,
+                pool_available: 25,
+                pool_total: 50,
+            },
+            inject(3, "pool_squeeze", 20, 5),
+            recover(3, "pool_squeeze", 10, 15),
+        ]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("returned 10 units but squeezed 20")));
+    }
+
+    #[test]
+    fn dangling_fault_window_is_reported() {
+        let report = check(&log(vec![inject(0, "rate_shock", 3000, u64::MAX)]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("still open at end of trace")));
+    }
+
+    #[test]
+    fn fault_kind_mismatch_and_ghost_recovery_reported() {
+        let mismatch = check(&log(vec![
+            inject(1, "producer_stall", 0, u64::MAX),
+            recover(1, "timer_drift", 0, u64::MAX),
+        ]));
+        assert!(mismatch
+            .violations
+            .iter()
+            .any(|v| v.contains("injected as producer_stall")));
+
+        let ghost = check(&log(vec![recover(9, "dropped_wakeup", 2, u64::MAX)]));
+        assert!(ghost
+            .violations
+            .iter()
+            .any(|v| v.contains("without an open window")));
+    }
+
+    #[test]
+    fn no_pool_sentinel_skips_squeeze_ledger() {
+        // Faults traced under a pool-less strategy carry the u64::MAX
+        // sentinel; the pool replay must ignore them entirely.
+        let report = check(&log(vec![
+            inject(0, "dropped_wakeup", 0, u64::MAX),
+            recover(0, "dropped_wakeup", 4, u64::MAX),
+        ]));
+        assert!(report.is_clean(), "{:?}", report.violations);
     }
 
     #[test]

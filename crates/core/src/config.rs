@@ -50,6 +50,38 @@ impl PredictorKind {
     }
 }
 
+/// Graceful-degradation policy for PBPL under injected faults
+/// (DESIGN.md §10). Default-off: with `enabled == false` every knob is
+/// inert and PBPL behaves bit-identically to the vanilla algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeConfig {
+    /// Master switch; when false the watchdog never observes anything.
+    pub enabled: bool,
+    /// Consecutive overflow wakeups of one consumer that trip its
+    /// prediction-error watchdog into degraded mode.
+    pub overflow_threshold: u32,
+    /// Multiplier applied to `resize_margin` while degraded (headroom
+    /// against the rate the predictor is demonstrably underestimating).
+    pub margin_boost: f64,
+    /// Consecutive scheduled wakeups required to leave degraded mode.
+    pub recovery_wakes: u32,
+    /// Bounded retries of a pool-starved grow request before accepting
+    /// the current (squeezed) capacity as the new target.
+    pub grow_retries: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: false,
+            overflow_threshold: 2,
+            margin_boost: 1.75,
+            recovery_wakes: 4,
+            grow_retries: 3,
+        }
+    }
+}
+
 /// Configuration of the paper's algorithm (PBPL).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PbplConfig {
@@ -80,6 +112,9 @@ pub struct PbplConfig {
     /// burst; the floor keeps one burst's worth of headroom. The paper's
     /// reported mean allocation (43 of 50) corresponds to ≈ 0.8.
     pub min_capacity_frac: f64,
+    /// Graceful degradation under faults (off by default; see
+    /// [`DegradeConfig`]).
+    pub degrade: DegradeConfig,
 }
 
 impl Default for PbplConfig {
@@ -93,6 +128,7 @@ impl Default for PbplConfig {
             resizing: true,
             resize_margin: 1.15,
             min_capacity_frac: 0.55,
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -129,6 +165,18 @@ impl StrategyKind {
     /// PBPL with default parameters.
     pub fn pbpl_default() -> Self {
         StrategyKind::Pbpl(PbplConfig::default())
+    }
+
+    /// PBPL with the graceful-degradation watchdog enabled (default
+    /// thresholds); everything else identical to [`Self::pbpl_default`].
+    pub fn pbpl_degraded() -> Self {
+        StrategyKind::Pbpl(PbplConfig {
+            degrade: DegradeConfig {
+                enabled: true,
+                ..DegradeConfig::default()
+            },
+            ..PbplConfig::default()
+        })
     }
 
     /// The §III periodic strategies' timer models: PBP suffers
@@ -229,5 +277,17 @@ mod tests {
         let cfg = PbplConfig::default();
         assert!(cfg.latching && cfg.resizing);
         assert!(cfg.max_latency >= cfg.slot);
+        assert!(!cfg.degrade.enabled, "degradation is opt-in");
+    }
+
+    #[test]
+    fn degraded_pbpl_differs_only_in_degrade_flag() {
+        let (vanilla, degraded) = (StrategyKind::pbpl_default(), StrategyKind::pbpl_degraded());
+        let (StrategyKind::Pbpl(v), StrategyKind::Pbpl(mut d)) = (vanilla, degraded) else {
+            unreachable!()
+        };
+        assert!(d.degrade.enabled);
+        d.degrade.enabled = false;
+        assert_eq!(v, d);
     }
 }

@@ -29,6 +29,18 @@ pub trait RatePredictor: Send {
     fn reset(&mut self);
 }
 
+/// Final output guard shared by every estimator: a rate must be finite
+/// and non-negative. NaN/∞ — only reachable through pathological
+/// accumulated state — degrade to zero, which planners already treat as
+/// "no signal" (they keep their current allocation).
+fn sanitize(rate: f64) -> f64 {
+    if rate.is_finite() {
+        rate.max(0.0)
+    } else {
+        0.0
+    }
+}
+
 /// The paper's h-step moving average:
 /// r̂ᵢ₊₁ = (Σⱼ₌ᵢ₋ₕ₊₁..ᵢ rⱼ) / h.
 #[derive(Debug, Clone)]
@@ -61,6 +73,9 @@ impl RatePredictor for MovingAverage {
             return;
         }
         let r = items as f64 / dt.as_secs_f64();
+        if !r.is_finite() {
+            return;
+        }
         if self.window.len() == self.history {
             self.sum -= self.window.pop_front().expect("window is full");
         }
@@ -70,9 +85,9 @@ impl RatePredictor for MovingAverage {
 
     fn rate(&self) -> f64 {
         if self.window.is_empty() {
-            self.prior
+            sanitize(self.prior)
         } else {
-            (self.sum / self.window.len() as f64).max(0.0)
+            sanitize(self.sum / self.window.len() as f64)
         }
     }
 
@@ -109,6 +124,9 @@ impl RatePredictor for Ewma {
             return;
         }
         let r = items as f64 / dt.as_secs_f64();
+        if !r.is_finite() {
+            return;
+        }
         self.estimate = Some(match self.estimate {
             None => r,
             Some(prev) => self.alpha * r + (1.0 - self.alpha) * prev,
@@ -116,7 +134,7 @@ impl RatePredictor for Ewma {
     }
 
     fn rate(&self) -> f64 {
-        self.estimate.unwrap_or(self.prior).max(0.0)
+        sanitize(self.estimate.unwrap_or(self.prior))
     }
 
     fn reset(&mut self) {
@@ -162,6 +180,9 @@ impl RatePredictor for Kalman {
             return;
         }
         let z = items as f64 / dt.as_secs_f64();
+        if !z.is_finite() {
+            return;
+        }
         match self.x {
             None => {
                 self.x = Some(z);
@@ -179,7 +200,7 @@ impl RatePredictor for Kalman {
     }
 
     fn rate(&self) -> f64 {
-        self.x.unwrap_or(self.prior).max(0.0)
+        sanitize(self.x.unwrap_or(self.prior))
     }
 
     fn reset(&mut self) {
@@ -223,6 +244,9 @@ impl RatePredictor for Holt {
             return;
         }
         let z = items as f64 / dt.as_secs_f64();
+        if !z.is_finite() {
+            return;
+        }
         match self.level {
             None => {
                 self.level = Some(z);
@@ -239,8 +263,8 @@ impl RatePredictor for Holt {
     fn rate(&self) -> f64 {
         match self.level {
             // One-step-ahead forecast: level + trend.
-            Some(level) => (level + self.trend).max(0.0),
-            None => self.prior.max(0.0),
+            Some(level) => sanitize(level + self.trend),
+            None => sanitize(self.prior),
         }
     }
 
@@ -396,6 +420,55 @@ mod tests {
         assert_eq!(ew.rate(), 0.0, "negative prior clamps");
         ew.observe(0, ms(10));
         assert_eq!(ew.rate(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_window_yields_finite_zero_rate() {
+        // A stalled producer reports zero items every interval; every
+        // estimator must settle on a finite, non-negative (zero) rate
+        // instead of propagating NaN/∞ into slot selection.
+        let mut preds: Vec<Box<dyn RatePredictor>> = vec![
+            Box::new(MovingAverage::new(8, 500.0)),
+            Box::new(Ewma::new(0.4, 500.0)),
+            Box::new(Kalman::new(100.0, 1000.0, 500.0)),
+            Box::new(Holt::new(0.5, 0.3, 500.0)),
+        ];
+        for p in preds.iter_mut() {
+            for _ in 0..32 {
+                p.observe(0, ms(10));
+            }
+            let r = p.rate();
+            assert!(r.is_finite(), "rate must stay finite, got {r}");
+            assert!(r >= 0.0, "rate must stay non-negative, got {r}");
+            assert!(
+                r < 1.0,
+                "all-zero window must drive the rate to ~0, got {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_then_resume_recovers() {
+        let mut ew = Ewma::new(0.5, 0.0);
+        feed(&mut ew, &[4000.0; 10]);
+        for _ in 0..20 {
+            ew.observe(0, ms(10));
+        }
+        assert!(ew.rate() < 10.0, "stall drives rate down: {}", ew.rate());
+        feed(&mut ew, &[4000.0; 10]);
+        assert!(ew.rate() > 3000.0, "resume recovers: {}", ew.rate());
+    }
+
+    #[test]
+    fn non_finite_priors_sanitized() {
+        let ma = MovingAverage::new(3, f64::NAN);
+        assert_eq!(ma.rate(), 0.0);
+        let ew = Ewma::new(0.5, f64::INFINITY);
+        assert_eq!(ew.rate(), 0.0);
+        let k = Kalman::new(1.0, 1.0, f64::NEG_INFINITY);
+        assert_eq!(k.rate(), 0.0);
+        let h = Holt::new(0.5, 0.5, f64::NAN);
+        assert_eq!(h.rate(), 0.0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::strategy::{
     batch_work, item_driven_work, MUTEX_SYNC_FACTOR, SEM_SYNC_FACTOR, YIELD_DVFS_FACTOR,
     YIELD_IDLE_PER_TICK, YIELD_TICK,
 };
+use pc_faults::{Fault, FaultKind, FaultPlan};
 use pc_power::{account_cores, GovernorKind, Meter, PowerModel};
 use pc_queues::elastic::Overflow;
 use pc_queues::{ElasticBuffer, GlobalPool};
@@ -45,6 +46,10 @@ enum Ev {
     TimerFire { pair: usize },
     /// A PBPL core manager's armed slot fires on `core`.
     SlotWake { core: usize, slot: SlotIndex },
+    /// Fault `f` of the active plan becomes effective.
+    FaultStart { f: usize },
+    /// Fault `f`'s window closes; its effects are rolled back.
+    FaultEnd { f: usize },
 }
 
 /// What triggered a consumer invocation (for the §VI-C wakeup split).
@@ -84,6 +89,35 @@ struct PairState {
     /// This consumer's maximum acceptable response latency (§IV-A);
     /// bounds how far ahead it may reserve.
     max_latency: SimDuration,
+    /// Degradation watchdog (PBPL, `degrade.enabled` only): consecutive
+    /// overflow wakes since the last scheduled one.
+    consec_overflow: u32,
+    /// Consecutive scheduled wakes while degraded (exit counter).
+    consec_scheduled: u32,
+    /// Whether the prediction-error watchdog has tripped.
+    degraded: bool,
+    /// Bounded-retry pool admission: an unsatisfied grow target and how
+    /// many more plans may retry it before accepting current capacity.
+    pending_grow: Option<(usize, u32)>,
+}
+
+/// Runtime state of the active fault plan. Present only when the plan is
+/// non-empty, so zero-fault runs take the exact branches (and RNG draws)
+/// of a build without fault injection.
+struct FaultRuntime {
+    faults: Vec<Fault>,
+    /// Whether each fault is currently effective.
+    active: Vec<bool>,
+    /// Per-pair consumer service-time multiplier, fixed-point ×1000.
+    work_x1000: Vec<u64>,
+    /// Per-core additional timer-fire delay, nanoseconds.
+    timer_delay_ns: Vec<u64>,
+    /// Per-core count of active dropped-wakeup faults.
+    drop_wake: Vec<u32>,
+    /// Per-core wakeups swallowed while dropped (reported on recovery).
+    swallowed: Vec<u64>,
+    /// Per-fault pool units actually squeezed away (`pool_squeeze`).
+    squeezed: Vec<usize>,
 }
 
 struct Sim {
@@ -107,6 +141,8 @@ struct Sim {
     /// Kept alive so buffers can borrow/return against it; also used by
     /// conservation assertions in tests.
     _pool: Option<Arc<GlobalPool>>,
+    /// Active fault plan, `None` on zero-fault runs.
+    faults: Option<FaultRuntime>,
     /// Event-trace handle (disabled unless the builder attached one).
     trace: TraceHandle,
 }
@@ -116,6 +152,172 @@ impl Sim {
         match &self.strategy {
             StrategyKind::Pbpl(cfg) => Some(cfg),
             _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Applies the pair's active service-time inflation (integer ×1000
+    /// fixed point; exact identity at the nominal 1000).
+    fn inflate_work(&self, i: usize, work: SimDuration) -> SimDuration {
+        match &self.faults {
+            Some(fr) if fr.work_x1000[i] != 1000 => SimDuration::from_nanos(
+                ((work.as_nanos() as u128 * fr.work_x1000[i] as u128) / 1000) as u64,
+            ),
+            _ => work,
+        }
+    }
+
+    /// Extra timer-fire delay currently injected on `core`.
+    fn fault_timer_delay(&self, core: usize) -> SimDuration {
+        match &self.faults {
+            Some(fr) => SimDuration::from_nanos(fr.timer_delay_ns[core]),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Whether scheduled wakeups on `core` are currently being swallowed.
+    fn wake_dropped(&self, core: usize) -> bool {
+        matches!(&self.faults, Some(fr) if fr.drop_wake[core] > 0)
+    }
+
+    /// Counts one swallowed wakeup on `core` (reported on recovery).
+    fn count_swallowed(&mut self, core: usize) {
+        if let Some(fr) = self.faults.as_mut() {
+            fr.swallowed[core] += 1;
+        }
+    }
+
+    /// Pool units available, or `u64::MAX` when the strategy has no pool
+    /// (the oracle skips pool accounting on that sentinel).
+    fn pool_available_u64(&self) -> u64 {
+        self._pool
+            .as_ref()
+            .map_or(u64::MAX, |p| p.available() as u64)
+    }
+
+    /// A fault window opens: make its effect live and trace the
+    /// injection. Targets outside the run's pair/core range are ignored
+    /// (arbitrary plans in property tests), but still traced.
+    fn fault_start(&mut self, f: usize) {
+        let fault = self
+            .faults
+            .as_ref()
+            .expect("fault event without a plan")
+            .faults[f];
+        let mut param = fault.kind.param();
+        match fault.kind {
+            FaultKind::RateShock { .. } | FaultKind::ProducerStall { .. } => {
+                // Workload faults were applied to the trace at build time;
+                // the events only mark the window for observers.
+            }
+            FaultKind::ConsumerSlowdown { pair, factor_x1000 } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(x) = fr.work_x1000.get_mut(pair as usize) {
+                    *x = factor_x1000.max(1000) as u64;
+                }
+            }
+            FaultKind::TimerDrift { core, delay_ns } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(d) = fr.timer_delay_ns.get_mut(core as usize) {
+                    *d = d.saturating_add(delay_ns);
+                }
+            }
+            FaultKind::DroppedWakeup { core } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(c) = fr.drop_wake.get_mut(core as usize) {
+                    *c += 1;
+                }
+            }
+            FaultKind::PoolSqueeze { units } => {
+                // Best-effort: grab what the pool has, up to the request.
+                // Consumers degrade to their current capacity meanwhile.
+                let granted = self
+                    ._pool
+                    .as_ref()
+                    .map_or(0, |p| p.try_reserve(units as usize));
+                self.faults.as_mut().expect("checked above").squeezed[f] = granted;
+                param = granted as u64;
+            }
+        }
+        self.faults.as_mut().expect("checked above").active[f] = true;
+        let pool_available = self.pool_available_u64();
+        self.trace.record(|| TraceEvent::FaultInjected {
+            id: fault.id,
+            kind: fault.kind.name().to_string(),
+            pair: fault.kind.pair(),
+            core: fault.kind.core(),
+            param,
+            pool_available,
+        });
+    }
+
+    /// A fault window closes: roll its effect back, trace the recovery,
+    /// and — for dropped wakeups — re-plan the core's timer from the
+    /// reservation book, which stayed consistent throughout.
+    fn fault_end(&mut self, f: usize) {
+        let now = self.engine.now();
+        let fault = self
+            .faults
+            .as_ref()
+            .expect("fault event without a plan")
+            .faults[f];
+        let mut param = fault.kind.param();
+        let mut rearm_core = None;
+        match fault.kind {
+            FaultKind::RateShock { .. } | FaultKind::ProducerStall { .. } => {}
+            FaultKind::ConsumerSlowdown { pair, .. } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(x) = fr.work_x1000.get_mut(pair as usize) {
+                    *x = 1000;
+                }
+            }
+            FaultKind::TimerDrift { core, delay_ns } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(d) = fr.timer_delay_ns.get_mut(core as usize) {
+                    *d = d.saturating_sub(delay_ns);
+                }
+            }
+            FaultKind::DroppedWakeup { core } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                if let Some(c) = fr.drop_wake.get_mut(core as usize) {
+                    *c = c.saturating_sub(1);
+                    param = fr.swallowed[core as usize];
+                    if *c == 0 {
+                        fr.swallowed[core as usize] = 0;
+                        rearm_core = Some(core as usize);
+                    }
+                }
+            }
+            FaultKind::PoolSqueeze { .. } => {
+                let fr = self.faults.as_mut().expect("checked above");
+                let granted = std::mem::take(&mut fr.squeezed[f]);
+                param = granted as u64;
+                if granted > 0 {
+                    self._pool
+                        .as_ref()
+                        .expect("squeeze granted implies a pool")
+                        .release(granted);
+                }
+            }
+        }
+        self.faults.as_mut().expect("checked above").active[f] = false;
+        let pool_available = self.pool_available_u64();
+        self.trace.record(|| TraceEvent::FaultRecovered {
+            id: fault.id,
+            kind: fault.kind.name().to_string(),
+            pair: fault.kind.pair(),
+            core: fault.kind.core(),
+            param,
+            pool_available,
+        });
+        if let Some(core) = rearm_core {
+            // Dropped-wakeup recovery: the timer re-arms at the earliest
+            // reservation; past slots fire immediately (now + 1ns) and
+            // dispatch in order, so no reservation is ever stranded.
+            self.ensure_scheduled(core, now);
         }
     }
 
@@ -183,7 +385,9 @@ impl Sim {
         // The sleep-entry tail is part of the wake session: the thread
         // re-checks the queue before truly blocking, so arrivals in this
         // window extend the session instead of causing a fresh wakeup.
-        let work = item_driven_work(&self.power, n, factor).saturating_add(self.power.sleep_entry);
+        let work = self
+            .inflate_work(i, item_driven_work(&self.power, n, factor))
+            .saturating_add(self.power.sleep_entry);
         let end = self.finish_drain(i, now, work, self.base_capacity);
         let pair = &mut self.pairs[i];
         pair.busy_until = end;
@@ -239,7 +443,7 @@ impl Sim {
             batch: n,
             capacity: capacity as u64,
         });
-        let work = batch_work(&self.power, n);
+        let work = self.inflate_work(i, batch_work(&self.power, n));
         self.finish_drain(i, now, work, capacity);
         n
     }
@@ -281,7 +485,15 @@ impl Sim {
     }
 
     fn periodic_fire(&mut self, i: usize, now: SimTime) {
-        self.batch_drain(i, now, Trigger::Scheduled);
+        // A dropped-wakeup fault on the pair's core swallows the drain
+        // but not the clock: the timer chain survives the outage and
+        // overflow handling covers the backlog meanwhile.
+        if self.wake_dropped(self.pairs[i].core) {
+            let core = self.pairs[i].core;
+            self.count_swallowed(core);
+        } else {
+            self.batch_drain(i, now, Trigger::Scheduled);
+        }
         let period = match self.strategy {
             StrategyKind::Pbp { period } | StrategyKind::Spbp { period } => period,
             _ => unreachable!("TimerFire only armed for periodic strategies"),
@@ -304,7 +516,8 @@ impl Sim {
         let fire = self
             .timer
             .fire_time(nominal, self.engine.rng())
-            .max(now.saturating_add(SimDuration::from_nanos(1)));
+            .max(now.saturating_add(SimDuration::from_nanos(1)))
+            .saturating_add(self.fault_timer_delay(self.pairs[i].core));
         if fire < self.end {
             self.engine.schedule_at(fire, Ev::TimerFire { pair: i });
         }
@@ -323,6 +536,94 @@ impl Sim {
     /// *convert* overflows into scheduled wakeups, not to multiply them.
     fn pbpl_plan(&mut self, i: usize, now: SimTime, allow_shrink: bool) {
         let cfg = self.pbpl_config().expect("PBPL planning").clone();
+        // Degraded mode (prediction-error watchdog, DESIGN.md §10): the
+        // estimator is demonstrably underestimating, so size with a
+        // boosted margin and never give capacity back until the exit
+        // criterion clears. Inert unless `degrade.enabled`.
+        let degraded = cfg.degrade.enabled && self.pairs[i].degraded;
+        let margin = if degraded {
+            cfg.resize_margin * cfg.degrade.margin_boost
+        } else {
+            cfg.resize_margin
+        };
+        let allow_shrink = allow_shrink && !degraded;
+        if cfg.degrade.enabled {
+            if degraded {
+                // Degraded floor: reclaim the pair's base entitlement
+                // while the watchdog is tripped. A buffer shrunk to the
+                // inter-burst average is what turns the next cluster
+                // into a run of consecutive overflows, and because slot
+                // selection already plans with `capacity.max(base)`,
+                // restoring the entitlement never delays this pair's
+                // scheduled wakeups — it only converts overflows back.
+                let base = self.base_capacity;
+                let mut cap = {
+                    let buffer = self.pairs[i].buffer.as_mut().expect("PBPL has a buffer");
+                    if buffer.capacity() < base {
+                        buffer.grow_to(base)
+                    } else {
+                        buffer.capacity()
+                    }
+                };
+                while cap < base {
+                    // Emergency rebalance: the pool is dry (inflated
+                    // post-burst predictors keep every pair in
+                    // grow-wanting mode, so nothing ever comes back),
+                    // and this pair is demonstrably overflowing below
+                    // its fair share B₀. Reclaim the deficit from the
+                    // *most* over-provisioned non-degraded neighbour —
+                    // every victim keeps at least its own entitlement,
+                    // so its wakeups are never brought forward past the
+                    // fair-share plan, and modestly-sized neighbours
+                    // (whose headroom is their burst protection) are
+                    // left alone for as long as possible.
+                    let mut victim: Option<(usize, usize)> = None;
+                    for j in 0..self.pairs.len() {
+                        // A neighbour that is *actively* overflowing keeps
+                        // its surplus; one merely sitting out the watchdog's
+                        // recovery window is fair game — its headroom is
+                        // idle while this pair is drowning.
+                        if j == i || self.pairs[j].consec_overflow > 0 {
+                            continue;
+                        }
+                        let Some(buffer) = self.pairs[j].buffer.as_ref() else {
+                            continue;
+                        };
+                        let surplus = buffer.capacity().saturating_sub(base);
+                        if surplus > 0 && victim.is_none_or(|(s, _)| surplus > s) {
+                            victim = Some((surplus, j));
+                        }
+                    }
+                    let Some((surplus, j)) = victim else { break };
+                    let give = surplus.min(base - cap);
+                    let buffer = self.pairs[j].buffer.as_mut().expect("checked above");
+                    buffer.shrink_to(buffer.capacity() - give);
+                    let regrown = self.pairs[i]
+                        .buffer
+                        .as_mut()
+                        .expect("PBPL has a buffer")
+                        .grow_to(base);
+                    if regrown == cap {
+                        // The victim's occupancy floor blocked the
+                        // shrink; no progress is possible this plan.
+                        break;
+                    }
+                    cap = regrown;
+                }
+            }
+            // Bounded-retry pool admission: a grow the squeezed pool
+            // denied earlier is retried a few plans, then dropped —
+            // degrade to current capacity rather than insist.
+            if let Some((want, left)) = self.pairs[i].pending_grow {
+                let buffer = self.pairs[i].buffer.as_mut().expect("PBPL has a buffer");
+                if buffer.capacity() >= want || left == 0 {
+                    self.pairs[i].pending_grow = None;
+                } else {
+                    let got = buffer.grow_to(want);
+                    self.pairs[i].pending_grow = (got < want).then_some((want, left - 1));
+                }
+            }
+        }
         let core = self.pairs[i].core;
         let rate = self.pairs[i]
             .predictor
@@ -369,8 +670,11 @@ impl Sim {
                 // headroom so there is something left to batch) and
                 // re-plan with what the pool granted.
                 let next_start = track.slot_start(track.next_slot_after(now) + 1);
-                let want = overrun_target(rate, now, next_start, cfg.resize_margin);
+                let want = overrun_target(rate, now, next_start, margin);
                 let granted = buffer.grow_to(want);
+                if cfg.degrade.enabled && granted < want {
+                    self.pairs[i].pending_grow = Some((want, cfg.degrade.grow_retries));
+                }
                 choice = select_slot(
                     &track,
                     &self.managers[core],
@@ -396,7 +700,7 @@ impl Sim {
             // a genuinely silent producer); sizing to it would shrink the
             // buffer to nothing on bootstrap. Keep the allocation.
             if predicted > 0.0 {
-                match plan_resize(buffer.capacity(), predicted, cfg.resize_margin) {
+                match plan_resize(buffer.capacity(), predicted, margin) {
                     ResizePlan::Shrink(target) if allow_shrink => {
                         buffer.shrink_to(target);
                     }
@@ -428,6 +732,31 @@ impl Sim {
             .as_mut()
             .expect("PBPL consumer has a predictor")
             .observe(n, dt);
+        let degrade = self.pbpl_config().expect("PBPL invoke").degrade;
+        if degrade.enabled {
+            // Prediction-error watchdog: consecutive overflows trip
+            // degraded mode; consecutive scheduled wakes clear it.
+            let pair = &mut self.pairs[i];
+            match trigger {
+                Trigger::Overflow => {
+                    pair.consec_scheduled = 0;
+                    pair.consec_overflow += 1;
+                    if pair.consec_overflow >= degrade.overflow_threshold {
+                        pair.degraded = true;
+                    }
+                }
+                Trigger::Scheduled => {
+                    pair.consec_overflow = 0;
+                    if pair.degraded {
+                        pair.consec_scheduled += 1;
+                        if pair.consec_scheduled >= degrade.recovery_wakes {
+                            pair.degraded = false;
+                            pair.consec_scheduled = 0;
+                        }
+                    }
+                }
+            }
+        }
         self.pbpl_plan(i, now, trigger != Trigger::Overflow);
     }
 
@@ -455,6 +784,13 @@ impl Sim {
 
     fn slot_wake(&mut self, core: usize, slot: SlotIndex, now: SimTime) {
         self.slot_timer[core] = None;
+        if self.wake_dropped(core) {
+            // The scheduled wakeup is swallowed: no dispatch, no re-arm.
+            // Reservations stay in the book; recovery (or overflow wakes
+            // meanwhile, or the end-of-run flush) picks them back up.
+            self.count_swallowed(core);
+            return;
+        }
         let due = self.managers[core].take_due(slot);
         for consumer in due {
             self.pbpl_invoke(consumer.0, now, Trigger::Scheduled);
@@ -498,6 +834,12 @@ impl Sim {
     /// reserved slot — "the core manager will schedule the next slot with
     /// at least one reservation" (§V-B).
     fn ensure_scheduled(&mut self, core: usize, now: SimTime) {
+        if self.wake_dropped(core) {
+            // The core's timer hardware is "dead" for the fault window:
+            // nothing new gets armed (an already-armed timer is swallowed
+            // at fire time). Recovery re-enters here via `fault_end`.
+            return;
+        }
         let want = self.managers[core].first_reserved();
         let current = self.slot_timer[core];
         match (current, want) {
@@ -510,7 +852,8 @@ impl Sim {
                 let fire = self
                     .timer
                     .fire_time(nominal, self.engine.rng())
-                    .max(now.saturating_add(SimDuration::from_nanos(1)));
+                    .max(now.saturating_add(SimDuration::from_nanos(1)))
+                    .saturating_add(self.fault_timer_delay(core));
                 if fire >= self.end {
                     // The run ends before this slot; the end-of-run flush
                     // drains whatever would have been batched there.
@@ -582,10 +925,35 @@ impl Sim {
                 let now = self.engine.now();
                 self.slot_wake(core, slot, now);
             }
+            Ev::FaultStart { f } => self.fault_start(f),
+            Ev::FaultEnd { f } => self.fault_end(f),
         }
     }
 
     fn run(mut self) -> RunMetrics {
+        // Fault windows: both edges are plain events at integer sim-time.
+        // Edges at or past end-of-run are swept up by the cleanup below.
+        if let Some(fr) = &self.faults {
+            let edges: Vec<(usize, u64, u64)> = fr
+                .faults
+                .iter()
+                .enumerate()
+                .map(|(f, fault)| (f, fault.start_ns, fault.end_ns))
+                .collect();
+            for (f, start_ns, end_ns) in edges {
+                if start_ns >= end_ns {
+                    continue;
+                }
+                let start = SimTime::from_nanos(start_ns);
+                if start < self.end {
+                    self.engine.schedule_at(start, Ev::FaultStart { f });
+                    let end = SimTime::from_nanos(end_ns);
+                    if end < self.end {
+                        self.engine.schedule_at(end, Ev::FaultEnd { f });
+                    }
+                }
+            }
+        }
         // Strategy-specific setup.
         match &self.strategy {
             StrategyKind::BusyWait => {
@@ -633,6 +1001,17 @@ impl Sim {
             self.handle(ev);
         }
         self.engine.advance_to(self.end);
+
+        // Faults still active at end-of-run recover now, *before* the
+        // flush and buffer teardown: squeezed pool units go back and the
+        // `FaultRecovered` events precede every `BufferDestroy`, so the
+        // oracle's conservation ledger balances at each step.
+        if let Some(fr) = &self.faults {
+            let open: Vec<usize> = (0..fr.faults.len()).filter(|&f| fr.active[f]).collect();
+            for f in open {
+                self.fault_end(f);
+            }
+        }
 
         // End-of-run flush: account for items still buffered so the
         // conservation invariant (produced == consumed) holds. No wakeups
@@ -719,6 +1098,7 @@ pub struct ExperimentBuilder {
     governor: GovernorKind,
     max_latencies: Option<Vec<SimDuration>>,
     trace_events: TraceHandle,
+    faults: FaultPlan,
 }
 
 impl Default for ExperimentBuilder {
@@ -736,6 +1116,7 @@ impl Default for ExperimentBuilder {
             governor: GovernorKind::Oracle,
             max_latencies: None,
             trace_events: TraceHandle::disabled(),
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -832,6 +1213,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Injects a deterministic fault plan (DESIGN.md §10). Workload
+    /// faults rewrite the production traces before the run; runtime
+    /// faults fire as events at their integer sim-time window edges. The
+    /// empty plan is the default and leaves the run bit-identical to a
+    /// build without fault injection.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Runs the experiment and returns its metrics.
     pub fn run(self) -> RunMetrics {
         let end = SimTime::ZERO + self.duration;
@@ -901,10 +1292,14 @@ impl ExperimentBuilder {
                     (None, Some(cfg)) => cfg.max_latency,
                     (None, None) => SimDuration::MAX,
                 };
+                let mut times = trace.into_times();
+                if !self.faults.is_empty() {
+                    self.faults.apply_workload_faults(i as u32, &mut times, end);
+                }
                 PairState {
                     max_latency,
                     core: i % self.cores,
-                    times: trace.into_times(),
+                    times,
                     next_idx: 0,
                     metrics: PairMetrics::new(PairId(i)),
                     busy_until: SimTime::ZERO,
@@ -914,6 +1309,10 @@ impl ExperimentBuilder {
                     predictor: pbpl_cfg.as_ref().map(|cfg| cfg.predictor.build(0.0)),
                     last_invocation: SimTime::ZERO,
                     periodic_anchor: SimTime::ZERO,
+                    consec_overflow: 0,
+                    consec_scheduled: 0,
+                    degraded: false,
+                    pending_grow: None,
                 }
             })
             .collect();
@@ -970,6 +1369,15 @@ impl ExperimentBuilder {
             base_capacity: self.buffer_capacity,
             scratch: Vec::new(),
             _pool: pool,
+            faults: (!self.faults.is_empty()).then(|| FaultRuntime {
+                active: vec![false; self.faults.len()],
+                work_x1000: vec![1000; self.pairs],
+                timer_delay_ns: vec![0; self.cores],
+                drop_wake: vec![0; self.cores],
+                swallowed: vec![0; self.cores],
+                squeezed: vec![0; self.faults.len()],
+                faults: self.faults.faults().to_vec(),
+            }),
             trace: self.trace_events,
         };
         sim.run()

@@ -9,15 +9,23 @@ use crate::strategy::{
     PairHandle,
 };
 use pc_core::{CostModel, SlotTrack, StrategyKind};
+use pc_faults::FaultPlan;
 use pc_power::PowerModel;
 use pc_queues::GlobalPool;
 use pc_sim::{SimDuration, SimTime};
-use pc_trace::WorldCupConfig;
+use pc_trace::{Trace, WorldCupConfig};
 use pc_trace_events::TraceHandle;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on how long [`NativeHarness::run`] waits for its strategy
+/// threads after raising the stop flag. Generous compared to the drain
+/// slack (tens of milliseconds) on purpose: the watchdog exists to catch
+/// genuinely stuck threads — a lost wakeup, a consumer blocked on a
+/// primitive nobody will ever signal — not to police slow machines.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Configuration of one native run.
 #[derive(Debug, Clone)]
@@ -43,6 +51,13 @@ pub struct NativeHarness {
     /// events carry replay-clock sim time: good for conservation checks,
     /// not for bit-stable digests.
     pub trace_events: TraceHandle,
+    /// Fault plan applied to the replayed workload (empty by default).
+    /// Native support is best-effort: workload faults (rate shocks,
+    /// producer stalls) reshape each pair's production times before
+    /// replay, exactly as the sim does; scheduler-level faults (dropped
+    /// wakeups, timer drift, pool squeezes) need the sim's event loop
+    /// and are ignored here.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for NativeHarness {
@@ -57,6 +72,7 @@ impl Default for NativeHarness {
             buffer_capacity: 25,
             seed: 42,
             trace_events: TraceHandle::disabled(),
+            fault_plan: FaultPlan::empty(),
         }
     }
 }
@@ -148,7 +164,13 @@ impl NativeHarness {
         let started = Instant::now();
         let handles: Vec<PairHandle> = (0..self.pairs)
             .map(|i| {
-                let trace = base.phase_shift(i as f64 / self.pairs as f64);
+                let mut trace = base.phase_shift(i as f64 / self.pairs as f64);
+                if !self.fault_plan.is_empty() {
+                    let mut times = trace.into_times();
+                    self.fault_plan
+                        .apply_workload_faults(i as u32, &mut times, horizon);
+                    trace = Trace::new(times, horizon);
+                }
                 let ctx = PairContext {
                     index: i,
                     trace,
@@ -187,8 +209,36 @@ impl NativeHarness {
         );
         stop.store(true, Ordering::SeqCst);
         let counters: Vec<_> = handles.iter().map(|h| Arc::clone(&h.counters)).collect();
-        for h in handles {
-            h.join();
+        // Join through a watchdog. A strategy thread that misses the stop
+        // flag (a lost wakeup with no recovery, a blocked primitive nobody
+        // signals) would otherwise hang the whole process with zero
+        // diagnostics; instead, dump every pair's counters — which pair
+        // stopped consuming, and where — and fail loudly.
+        let (done_tx, done_rx) = mpsc::channel();
+        let joiner = thread::Builder::new()
+            .name("pc-join-watchdog".into())
+            .spawn(move || {
+                for h in handles {
+                    h.join();
+                }
+                let _ = done_tx.send(());
+            })
+            .expect("spawn joiner thread");
+        match done_rx.recv_timeout(JOIN_TIMEOUT) {
+            Ok(()) => joiner.join().expect("joiner thread panicked"),
+            Err(_) => {
+                let dump: Vec<String> = counters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| format!("  pair {i}: {:?}", c.snapshot()))
+                    .collect();
+                panic!(
+                    "native harness: strategy threads failed to join within \
+                     {JOIN_TIMEOUT:?} of the stop flag — likely a stuck \
+                     consumer; per-pair counters at timeout:\n{}",
+                    dump.join("\n")
+                );
+            }
         }
         let wall_secs = started.elapsed().as_secs_f64();
         let manager_fires = managers.iter().map(|m| m.slot_fires()).collect();
@@ -249,6 +299,25 @@ mod tests {
             bp.wakeups_per_sec(),
             mutex.wakeups_per_sec()
         );
+    }
+
+    #[test]
+    fn faulted_harness_conserves_items() {
+        // Workload faults reshape production times but never add or drop
+        // items, so end-to-end conservation must survive them natively.
+        use pc_faults::{ExpandEnv, FaultScenario};
+        let mut h = harness(StrategyKind::pbpl_default());
+        let env = ExpandEnv {
+            horizon_ns: h.duration.as_nanos(),
+            pairs: h.pairs as u32,
+            cores: h.cores as u32,
+            pool_total: (h.buffer_capacity * h.pairs) as u64,
+        };
+        h.fault_plan = FaultPlan::expand(FaultScenario::RateShock, 3, &env);
+        assert!(!h.fault_plan.is_empty());
+        let r = h.run();
+        assert!(r.items_produced() > 0);
+        assert_eq!(r.items_produced(), r.items_consumed());
     }
 
     #[test]

@@ -32,7 +32,12 @@ use std::sync::{Arc, Mutex};
 
 /// Version of the event schema; bump on any change to [`TraceEvent`]
 /// variants or fields so recorded streams are self-describing.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added `FaultInjected` / `FaultRecovered` (deterministic fault
+/// injection, DESIGN.md §10). Zero-fault streams are byte-identical to
+/// v1 streams, and the digest covers events only, so golden digests
+/// survive the bump.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// What caused a consumer invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,6 +181,42 @@ pub enum TraceEvent {
         /// Units released back to the pool.
         released: u64,
         /// Pool units available after the release.
+        pool_available: u64,
+    },
+    /// A fault from the active `FaultPlan` became effective.
+    FaultInjected {
+        /// Plan-unique fault id, echoed by the matching `FaultRecovered`.
+        id: u32,
+        /// Stable fault-kind name (`rate_shock`, `producer_stall`,
+        /// `consumer_slowdown`, `timer_drift`, `dropped_wakeup`,
+        /// `pool_squeeze`).
+        kind: String,
+        /// Target pair, `u32::MAX` when not pair-scoped.
+        pair: u32,
+        /// Target core, `u32::MAX` when not core-scoped.
+        core: u32,
+        /// Kind-specific scalar: fixed-point factor, delay in ns, or —
+        /// for `pool_squeeze` — the units actually reserved away.
+        param: u64,
+        /// Pool units available after injection; `u64::MAX` when the
+        /// strategy has no pool (the oracle skips pool accounting then).
+        pool_available: u64,
+    },
+    /// A fault's window closed and its effects were rolled back.
+    FaultRecovered {
+        /// Id of the fault that cleared.
+        id: u32,
+        /// Stable fault-kind name (matches the injection).
+        kind: String,
+        /// Target pair, `u32::MAX` when not pair-scoped.
+        pair: u32,
+        /// Target core, `u32::MAX` when not core-scoped.
+        core: u32,
+        /// Kind-specific scalar: for `pool_squeeze` the units returned
+        /// to the pool (must equal the injected grant); for
+        /// `dropped_wakeup` the wakeups swallowed during the window.
+        param: u64,
+        /// Pool units available after recovery; `u64::MAX` when no pool.
         pool_available: u64,
     },
 }
@@ -522,6 +563,22 @@ mod tests {
                 owner: 1,
                 released: 10,
                 pool_available: 50,
+            },
+            TraceEvent::FaultInjected {
+                id: 0,
+                kind: "pool_squeeze".to_string(),
+                pair: u32::MAX,
+                core: u32::MAX,
+                param: 35,
+                pool_available: 15,
+            },
+            TraceEvent::FaultRecovered {
+                id: 0,
+                kind: "dropped_wakeup".to_string(),
+                pair: u32::MAX,
+                core: 1,
+                param: 4,
+                pool_available: u64::MAX,
             },
         ];
         for (i, kind) in variants.into_iter().enumerate() {

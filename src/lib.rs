@@ -25,6 +25,9 @@
 //! * [`trace_events`] — deterministic structured event log (bounded
 //!   recorder, typed events, FNV digests) consumed by the replay oracle
 //!   in `pc-bench`.
+//! * [`faults`] — deterministic fault-injection plans: seeded schedules
+//!   of typed faults (rate shocks, stalls, slowdowns, timer drift,
+//!   dropped wakeups, pool squeezes) at integer sim-time.
 //!
 //! ## Quick start
 //!
@@ -47,6 +50,7 @@
 //! ```
 
 pub use pc_core as core;
+pub use pc_faults as faults;
 pub use pc_power as power;
 pub use pc_queues as queues;
 pub use pc_runtime as runtime;

@@ -146,6 +146,52 @@ proptest! {
     }
 
     #[test]
+    fn any_fault_plan_preserves_item_and_pool_conservation(
+        scenario_idx in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        // Arbitrary fault interleavings — any scenario, any expansion
+        // seed — may reshape arrivals, stall producers, slow consumers,
+        // drop wakeups, drift timers and squeeze the pool, but they must
+        // never lose an item or a pool unit: the run flushes clean and
+        // the recorded trace replays clean through the extended oracle
+        // (item conservation, squeeze-aware pool conservation, paired
+        // fault windows).
+        use pcpower::faults::{ExpandEnv, FaultPlan, FaultScenario};
+        use pcpower::trace_events::Recorder;
+        let (pairs, cores, buffer) = (3usize, 2usize, 25usize);
+        let duration = SimDuration::from_millis(60);
+        let scenario = FaultScenario::all()[scenario_idx];
+        let plan = FaultPlan::expand(scenario, seed, &ExpandEnv {
+            horizon_ns: duration.as_nanos(),
+            pairs: pairs as u32,
+            cores: cores as u32,
+            pool_total: (buffer * pairs) as u64,
+        });
+        let recorder = Recorder::new();
+        let m = Experiment::builder()
+            .pairs(pairs)
+            .cores(cores)
+            .duration(duration)
+            .strategy(StrategyKind::pbpl_degraded())
+            .trace(pcpower::trace::WorldCupConfig::quick_test())
+            .seed(seed)
+            .buffer_capacity(buffer)
+            .faults(plan)
+            .record_events(recorder.handle())
+            .run();
+        prop_assert!(m.all_items_consumed(),
+            "{}: {} produced, {} consumed",
+            scenario.name(), m.items_produced, m.items_consumed);
+        let log = recorder.take();
+        prop_assert_eq!(log.dropped, 0);
+        let report = pc_bench::oracle::check(&log);
+        prop_assert!(report.is_clean(),
+            "{} seed {}: oracle violations: {:?}",
+            scenario.name(), seed, report.violations);
+    }
+
+    #[test]
     fn slot_g_properties(delta_us in 1u64..100_000, t_ns in 0u64..10_000_000_000) {
         let track = SlotTrack::new(SimDuration::from_micros(delta_us));
         let t = SimTime::from_nanos(t_ns);

@@ -365,6 +365,117 @@ fn golden_trace_digest_is_stable() {
 const GOLDEN_TRACE_DIGEST: u64 = 12150806464438147394;
 
 #[test]
+fn golden_chaos_trace_digest_is_stable() {
+    // Same contract as `golden_trace_digest_is_stable`, for a faulty
+    // cell: the rate-shock scenario on degraded PBPL at a fixed seed
+    // pins the fault-injection sites, the `FaultInjected`/`FaultRecovered`
+    // payloads and the watchdog's resize behaviour. A digest change
+    // means the chaos stream changed — review and update deliberately.
+    use pc_bench::chaos::{chaos_oracle, run_chaos_cell, ChaosCellSpec};
+    use pc_bench::exp::Protocol;
+    use pcpower::faults::FaultScenario;
+    let protocol = Protocol {
+        duration: SimDuration::from_millis(100),
+        replicates: 1,
+        base_seed: 1,
+        trace: WorldCupConfig::paper_default(),
+        threads: 1,
+    };
+    let cell = ChaosCellSpec {
+        strategy: StrategyKind::pbpl_degraded(),
+        scenario: FaultScenario::RateShock,
+        replicate: 0,
+    };
+    let run_digest = || {
+        let (m, log) = run_chaos_cell(&protocol, &cell);
+        assert!(m.all_items_consumed());
+        assert_eq!(log.dropped, 0, "golden chaos run must fit the recorder");
+        let report = chaos_oracle(&log);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        log.digest()
+    };
+    let digest = run_digest();
+    assert_eq!(digest, run_digest(), "chaos trace must be deterministic");
+    assert_eq!(
+        digest, GOLDEN_CHAOS_TRACE_DIGEST,
+        "chaos event stream changed — if intentional, update GOLDEN_CHAOS_TRACE_DIGEST"
+    );
+}
+
+/// See [`golden_chaos_trace_digest_is_stable`].
+const GOLDEN_CHAOS_TRACE_DIGEST: u64 = 15941635301589091553;
+
+#[test]
+fn degradation_strictly_reduces_consecutive_overflows_under_rate_shock() {
+    // The acceptance bar for the degradation watchdog: on the rate-shock
+    // scenario PBPL(degraded) sustains strictly fewer consecutive
+    // overflow wakeups than vanilla PBPL in *every* replicate, and on
+    // the fault-free baseline it never schedules more wakeups than
+    // vanilla (the watchdog must not buy robustness with energy).
+    //
+    // The 2 s horizon is load-bearing: long enough for several WorldCup
+    // burst clusters and a full shock window, so the comparison measures
+    // the policy rather than boundary noise.
+    use pc_bench::chaos::{execute_chaos, recovery_metrics, ChaosCellSpec};
+    use pc_bench::exp::Protocol;
+    use pcpower::faults::FaultScenario;
+    let protocol = Protocol {
+        duration: SimDuration::from_millis(2000),
+        replicates: 3,
+        base_seed: 1,
+        trace: WorldCupConfig::paper_default(),
+        threads: 4,
+    };
+    let mut cells = Vec::new();
+    for scenario in [FaultScenario::RateShock, FaultScenario::Baseline] {
+        for strategy in [StrategyKind::pbpl_default(), StrategyKind::pbpl_degraded()] {
+            for replicate in 0..protocol.replicates {
+                cells.push(ChaosCellSpec {
+                    strategy: strategy.clone(),
+                    scenario,
+                    replicate,
+                });
+            }
+        }
+    }
+    let results = execute_chaos(&protocol, &cells, protocol.threads);
+    let metric = |scenario: FaultScenario, degraded: bool, replicate: usize| {
+        let i = cells
+            .iter()
+            .position(|c| {
+                c.scenario == scenario
+                    && c.replicate == replicate
+                    && matches!(&c.strategy, StrategyKind::Pbpl(cfg)
+                        if cfg.degrade.enabled == degraded)
+            })
+            .expect("cell exists");
+        recovery_metrics(&results[i].1)
+    };
+    for replicate in 0..protocol.replicates {
+        let vanilla = metric(FaultScenario::RateShock, false, replicate);
+        let degraded = metric(FaultScenario::RateShock, true, replicate);
+        assert!(
+            degraded.consec_overflow_wakes < vanilla.consec_overflow_wakes,
+            "replicate {replicate}: degraded sustained {} consecutive overflow \
+             wakes vs vanilla {} — the watchdog must strictly reduce thrashing \
+             under a rate shock",
+            degraded.consec_overflow_wakes,
+            vanilla.consec_overflow_wakes
+        );
+        let vanilla = metric(FaultScenario::Baseline, false, replicate);
+        let degraded = metric(FaultScenario::Baseline, true, replicate);
+        assert!(
+            degraded.scheduled_wakes <= vanilla.scheduled_wakes,
+            "replicate {replicate}: degraded scheduled {} wakes vs vanilla {} \
+             on the fault-free baseline — degradation must not cost energy \
+             when nothing is wrong",
+            degraded.scheduled_wakes,
+            vanilla.scheduled_wakes
+        );
+    }
+}
+
+#[test]
 fn recording_does_not_change_metrics() {
     // The trace layer is purely observational: energy and item counts
     // are bit-identical with and without a recorder attached. This is
