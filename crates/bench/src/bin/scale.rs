@@ -1,0 +1,226 @@
+//! Large-M scaling sweep on the sharded coordination layer
+//! (DESIGN.md §11).
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin scale -- [--filter NAME]...
+//!     [--threads N] [--shards N] [--list]
+//! ```
+//!
+//! Drives the planet-scale fleet workload (`pc_trace::planet`) through
+//! the four §VI strategies at M ∈ {10, 100, 1000} and writes:
+//!
+//! * `results/scale.json` — deterministic per-cell metrics. **Byte-
+//!   identical for any `--threads` value AND any `--shards` value at
+//!   the same seed** — the CI scale job runs this binary three times
+//!   (threads 4, threads 1, then a different shard count) and fails the
+//!   build on any byte difference. Thread and shard counts must never
+//!   reach this file.
+//! * `results/BENCH_scale.json` — wall-clock, thread count and shard
+//!   count. Host-dependent by design.
+//!
+//! `PC_DURATION_MS` (default 10 000), `PC_REPLICATES` (default 1),
+//! `PC_SEED`, `PC_THREADS` and `PC_SHARDS` apply; `--threads` and
+//! `--shards` override the env.
+
+use pc_bench::exp::{print_header, print_row, save_json, Row};
+use pc_bench::scale::{cell_report, cells_for, execute, scale_points, ScaleProtocol};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ScaleReport {
+    /// Bump on any change to this file's structure.
+    schema_version: u32,
+    duration_ms: u64,
+    replicates: usize,
+    base_seed: u64,
+    workload_mean_rate: f64,
+    workload_rate_spread: f64,
+    cells: Vec<pc_bench::scale::ScaleCellReport>,
+}
+
+#[derive(Serialize)]
+struct PointTiming {
+    name: String,
+    cells: usize,
+    wall_ms: u64,
+}
+
+#[derive(Serialize)]
+struct ScaleTiming {
+    schema_version: u32,
+    threads: usize,
+    shards: usize,
+    total_wall_ms: u64,
+    points: Vec<PointTiming>,
+}
+
+struct Options {
+    filters: Vec<String>,
+    threads: Option<usize>,
+    shards: Option<usize>,
+    list: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        filters: Vec::new(),
+        threads: None,
+        shards: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--filter" => {
+                let value = args.next().unwrap_or_else(|| die("--filter needs a value"));
+                options.filters.push(value);
+            }
+            "--threads" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a value"));
+                options.threads = Some(parse_positive(&value, "--threads"));
+            }
+            "--shards" => {
+                let value = args.next().unwrap_or_else(|| die("--shards needs a value"));
+                options.shards = Some(parse_positive(&value, "--shards"));
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: scale [--filter NAME]... [--threads N] [--shards N] [--list]\n\
+                     \n\
+                     Runs the large-M scaling sweep (planet fleet workload,\n\
+                     M in {{10, 100, 1000}}) on the sharded coordination layer\n\
+                     and writes results/scale.json (deterministic — identical\n\
+                     for any thread or shard count) and results/BENCH_scale.json\n\
+                     (timings). --filter keeps only the named points\n\
+                     (m10 | m100 | m1000; exact match, repeatable, OR).\n\
+                     Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS,\n\
+                     PC_SHARDS."
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    options
+}
+
+fn parse_positive(value: &str, flag: &str) -> usize {
+    value
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| die(&format!("{flag} needs a positive integer")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("scale: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let options = parse_args();
+    let mut protocol = ScaleProtocol::from_env();
+    if let Some(threads) = options.threads {
+        protocol.threads = threads;
+    }
+    if let Some(shards) = options.shards {
+        protocol.shards = shards;
+    }
+
+    let points = scale_points();
+    let selected: Vec<&pc_bench::scale::ScalePoint> = points
+        .iter()
+        .filter(|p| {
+            // Point names are prefixes of each other (m10, m100, m1000),
+            // so filters match exactly rather than by substring.
+            options.filters.is_empty() || options.filters.iter().any(|f| p.name == f.as_str())
+        })
+        .collect();
+
+    if options.list {
+        for p in &selected {
+            println!(
+                "{:<6} M={:<5} cores={:<4} {:>3} cells",
+                p.name,
+                p.point.pairs,
+                p.point.cores,
+                cells_for(&[p], protocol.replicates).len()
+            );
+        }
+        return;
+    }
+    if selected.is_empty() {
+        die("no scale point matches the given --filter");
+    }
+
+    let duration_ms = protocol.duration.as_nanos() / 1_000_000;
+    println!(
+        "scale: {} point(s), {} ms horizon, {} replicate(s), seed {}, {} thread(s), {} shard(s)",
+        selected.len(),
+        duration_ms,
+        protocol.replicates,
+        protocol.base_seed,
+        protocol.threads,
+        protocol.shards
+    );
+
+    let start = Instant::now();
+    let mut reports = Vec::new();
+    let mut timings = Vec::new();
+    for p in &selected {
+        let cells = cells_for(&[p], protocol.replicates);
+        let started = Instant::now();
+        let runs = execute(&protocol, &cells);
+        let wall_ms = started.elapsed().as_millis() as u64;
+
+        print_header(&format!("scale {} (M={})", p.name, p.point.pairs));
+        for (chunk_index, group) in runs.chunks(protocol.replicates).enumerate() {
+            let cell = &cells[chunk_index * protocol.replicates];
+            let mut row = Row::from_runs(group);
+            row.name = cell.strategy.name().to_string();
+            print_row(&row);
+        }
+
+        reports.extend(
+            cells
+                .iter()
+                .zip(&runs)
+                .map(|(cell, m)| cell_report(&protocol, cell, m)),
+        );
+        timings.push(PointTiming {
+            name: p.name.to_string(),
+            cells: cells.len(),
+            wall_ms,
+        });
+    }
+
+    save_json(
+        "scale",
+        &ScaleReport {
+            schema_version: 1,
+            duration_ms,
+            replicates: protocol.replicates,
+            base_seed: protocol.base_seed,
+            workload_mean_rate: protocol.workload.mean_rate,
+            workload_rate_spread: protocol.workload.rate_spread,
+            cells: reports,
+        },
+    );
+
+    let total_wall_ms = start.elapsed().as_millis() as u64;
+    save_json(
+        "BENCH_scale",
+        &ScaleTiming {
+            schema_version: 1,
+            threads: protocol.threads,
+            shards: protocol.shards,
+            total_wall_ms,
+            points: timings,
+        },
+    );
+    println!("scale: done in {total_wall_ms} ms");
+}

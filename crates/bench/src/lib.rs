@@ -10,4 +10,5 @@
 pub mod chaos;
 pub mod exp;
 pub mod oracle;
+pub mod scale;
 pub mod sweep;

@@ -232,9 +232,11 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                 if *pool_available == u64::MAX {
                     continue;
                 }
-                if kind == "pool_squeeze" && squeezes.insert(*id, *param).is_some() {
+                if (kind == "pool_squeeze" || kind == "pool_squeeze_shard")
+                    && squeezes.insert(*id, *param).is_some()
+                {
                     violations.push(format!(
-                        "pool: seq {seq} pool_squeeze fault {id} injected while already active"
+                        "pool: seq {seq} {kind} fault {id} injected while already active"
                     ));
                 }
                 expect_conserved(seq, &held, &squeezes, *pool_available, total, violations);
@@ -249,14 +251,14 @@ fn check_pool(events: &[Event], violations: &mut Vec<String>) {
                 if *pool_available == u64::MAX {
                     continue;
                 }
-                if kind == "pool_squeeze" {
+                if kind == "pool_squeeze" || kind == "pool_squeeze_shard" {
                     match squeezes.remove(id) {
                         Some(units) if units == *param => {}
                         Some(units) => violations.push(format!(
-                            "pool: seq {seq} pool_squeeze fault {id} returned {param} units but squeezed {units}"
+                            "pool: seq {seq} {kind} fault {id} returned {param} units but squeezed {units}"
                         )),
                         None => violations.push(format!(
-                            "pool: seq {seq} pool_squeeze fault {id} recovered without an active squeeze"
+                            "pool: seq {seq} {kind} fault {id} recovered without an active squeeze"
                         )),
                     }
                 }

@@ -13,9 +13,9 @@
 //! Selection backtracks from the predicted buffer-full slot
 //! `g(sᵢ + B/r̂)` toward the present, stopping as soon as ρ stops
 //! improving; the core manager's reservation index makes each backtrack
-//! step O(log n) ([`CoreManager::latest_reserved_in`]).
+//! step O(log n) ([`crate::CoreManager::latest_reserved_in`]).
 
-use crate::manager::CoreManager;
+use crate::manager::ReservationBook;
 use crate::model::ConsumerId;
 use crate::slot::{SlotIndex, SlotTrack};
 use pc_power::PowerModel;
@@ -72,6 +72,8 @@ pub struct SlotChoice {
 }
 
 /// Selects the reservation slot for a consumer on `manager`'s core.
+/// Generic over [`ReservationBook`], so it runs unchanged against a
+/// single [`crate::CoreManager`] or a [`crate::ShardedCoreManager`].
 ///
 /// ```
 /// use pc_core::{select_slot, CoreManager, CostModel, PairId, SlotTrack};
@@ -106,9 +108,9 @@ pub struct SlotChoice {
 /// the next slot — Δ is the floor on achievable latency (which is why
 /// the paper derives Δ *from* the latency requirements).
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list for Eq. 8
-pub fn select_slot(
+pub fn select_slot<B: ReservationBook + ?Sized>(
     track: &SlotTrack,
-    manager: &CoreManager,
+    manager: &B,
     cost: &CostModel,
     now: SimTime,
     rate: f64,
@@ -197,6 +199,7 @@ pub fn select_slot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::CoreManager;
     use crate::model::PairId;
 
     fn setup() -> (SlotTrack, CoreManager, CostModel) {

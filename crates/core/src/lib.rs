@@ -39,7 +39,7 @@ pub mod system;
 
 pub use config::{PbplConfig, PredictorKind, StrategyKind};
 pub use cost::{select_slot, CostModel, SlotChoice};
-pub use manager::CoreManager;
+pub use manager::{CoreManager, ReservationBook, ShardedCoreManager};
 pub use metrics::{PairMetrics, RunMetrics};
 pub use model::{gamma_count, wakeup_objective, ConsumerId, PairId};
 pub use predict::{Ewma, Holt, Kalman, MovingAverage, RatePredictor};

@@ -13,7 +13,7 @@
 
 use crate::config::{PbplConfig, StrategyKind};
 use crate::cost::{select_slot, CostModel};
-use crate::manager::CoreManager;
+use crate::manager::ShardedCoreManager;
 use crate::metrics::{PairMetrics, RunMetrics};
 use crate::model::PairId;
 use crate::predict::RatePredictor;
@@ -116,8 +116,10 @@ struct FaultRuntime {
     drop_wake: Vec<u32>,
     /// Per-core wakeups swallowed while dropped (reported on recovery).
     swallowed: Vec<u64>,
-    /// Per-fault pool units actually squeezed away (`pool_squeeze`).
-    squeezed: Vec<usize>,
+    /// Per-fault, per-shard pool units actually squeezed away
+    /// (`pool_squeeze` / `pool_squeeze_shard`): a provenance vector per
+    /// fault, so recovery repays exactly the shards it drained.
+    squeezed: Vec<Vec<usize>>,
 }
 
 struct Sim {
@@ -130,7 +132,7 @@ struct Sim {
     engine: Engine<Ev>,
     cores: Vec<Core>,
     core_busy_until: Vec<SimTime>,
-    managers: Vec<CoreManager>,
+    managers: Vec<ShardedCoreManager>,
     slot_timer: Vec<Option<(EventId, SlotIndex)>>,
     pairs: Vec<PairState>,
     /// Pair indices hosted on each core (fixed assignment), so hot paths
@@ -234,11 +236,30 @@ impl Sim {
             FaultKind::PoolSqueeze { units } => {
                 // Best-effort: grab what the pool has, up to the request.
                 // Consumers degrade to their current capacity meanwhile.
-                let granted = self
-                    ._pool
-                    .as_ref()
-                    .map_or(0, |p| p.try_reserve(units as usize));
-                self.faults.as_mut().expect("checked above").squeezed[f] = granted;
+                // Tracked acquisition walks every shard from 0, so the
+                // grant equals what a single-counter pool would give.
+                let pool = self._pool.clone();
+                let fr = self.faults.as_mut().expect("checked above");
+                let granted = match pool.as_ref() {
+                    Some(p) => p.acquire_at(0, units as usize, &mut fr.squeezed[f]),
+                    None => 0,
+                };
+                param = granted as u64;
+            }
+            FaultKind::PoolSqueezeShard { shard, units } => {
+                // Shard-targeted squeeze: drains only the named sub-pool
+                // (modulo the shard count), so the per-shard ledger — not
+                // just the global one — absorbs the hit.
+                let pool = self._pool.clone();
+                let fr = self.faults.as_mut().expect("checked above");
+                let granted = match pool.as_ref() {
+                    Some(p) => p.acquire_shard(
+                        shard as usize % p.shards(),
+                        units as usize,
+                        &mut fr.squeezed[f],
+                    ),
+                    None => 0,
+                };
                 param = granted as u64;
             }
         }
@@ -291,15 +312,16 @@ impl Sim {
                     }
                 }
             }
-            FaultKind::PoolSqueeze { .. } => {
+            FaultKind::PoolSqueeze { .. } | FaultKind::PoolSqueezeShard { .. } => {
+                let pool = self._pool.clone();
                 let fr = self.faults.as_mut().expect("checked above");
-                let granted = std::mem::take(&mut fr.squeezed[f]);
+                let held = &mut fr.squeezed[f];
+                let granted: usize = held.iter().sum();
                 param = granted as u64;
                 if granted > 0 {
-                    self._pool
-                        .as_ref()
+                    pool.as_ref()
                         .expect("squeeze granted implies a pool")
-                        .release(granted);
+                        .restore_at(0, granted, held);
                 }
             }
         }
@@ -1099,6 +1121,7 @@ pub struct ExperimentBuilder {
     max_latencies: Option<Vec<SimDuration>>,
     trace_events: TraceHandle,
     faults: FaultPlan,
+    shards: usize,
 }
 
 impl Default for ExperimentBuilder {
@@ -1117,6 +1140,7 @@ impl Default for ExperimentBuilder {
             max_latencies: None,
             trace_events: TraceHandle::disabled(),
             faults: FaultPlan::empty(),
+            shards: 1,
         }
     }
 }
@@ -1213,6 +1237,18 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Number of coordination shards S: the core managers and the PBPL
+    /// global pool split their state S ways, with pairs hashed to shards
+    /// by index. Semantically inert by contract — results (energy bits,
+    /// wakeups, trace events) are identical for every S ≥ 1, which CI's
+    /// scale job byte-checks; larger S exists to cut contention at large
+    /// M. Default 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
     /// Injects a deterministic fault plan (DESIGN.md §10). Workload
     /// faults rewrite the production traces before the run; runtime
     /// faults fire as events at their integer sim-time window edges. The
@@ -1263,7 +1299,8 @@ impl ExperimentBuilder {
             );
         }
         let is_batching = self.strategy.is_batching();
-        let pool = is_batching.then(|| GlobalPool::new(self.buffer_capacity * self.pairs));
+        let pool = is_batching
+            .then(|| GlobalPool::with_shards(self.buffer_capacity * self.pairs, self.shards));
         let pbpl_cfg = match &self.strategy {
             StrategyKind::Pbpl(cfg) => Some(cfg.clone()),
             _ => None,
@@ -1281,9 +1318,13 @@ impl ExperimentBuilder {
                         // Fixed-size strategies never resize anyway.
                         None => self.buffer_capacity,
                     };
-                    let mut buf =
-                        ElasticBuffer::with_min(Arc::clone(p), self.buffer_capacity, min_cap)
-                            .expect("pool sized as B0*M covers every base reservation");
+                    let mut buf = ElasticBuffer::with_min_at(
+                        Arc::clone(p),
+                        self.buffer_capacity,
+                        min_cap,
+                        i % self.shards,
+                    )
+                    .expect("pool sized as B0*M covers every base reservation");
                     buf.set_trace(self.trace_events.clone(), i as u32);
                     buf
                 });
@@ -1332,7 +1373,7 @@ impl ExperimentBuilder {
         let track = SlotTrack::new(delta);
         let managers = (0..self.cores)
             .map(|c| {
-                let mut m = CoreManager::new(track);
+                let mut m = ShardedCoreManager::new(track, self.shards);
                 m.set_trace(self.trace_events.clone(), c as u32);
                 m
             })
@@ -1342,6 +1383,7 @@ impl ExperimentBuilder {
         for (i, p) in pairs.iter().enumerate() {
             pairs_by_core[p.core].push(i);
         }
+        let pool_shards = pool.as_ref().map_or(1, |p| p.shards());
         let sim = Sim {
             pairs_by_core,
             governor: self.governor,
@@ -1375,7 +1417,7 @@ impl ExperimentBuilder {
                 timer_delay_ns: vec![0; self.cores],
                 drop_wake: vec![0; self.cores],
                 swallowed: vec![0; self.cores],
-                squeezed: vec![0; self.faults.len()],
+                squeezed: vec![vec![0; pool_shards]; self.faults.len()],
                 faults: self.faults.faults().to_vec(),
             }),
             trace: self.trace_events,

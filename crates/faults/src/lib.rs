@@ -51,6 +51,10 @@ pub enum FaultKind {
     /// Up to `units` units of the elastic global pool are reserved away
     /// for the duration of the window (transient capacity squeeze).
     PoolSqueeze { units: u32 },
+    /// Like [`FaultKind::PoolSqueeze`] but drains only pool shard
+    /// `shard` (taken modulo the run's shard count): the squeeze lands
+    /// on one sub-pool's ledger, exercising per-shard conservation.
+    PoolSqueezeShard { shard: u32, units: u32 },
 }
 
 impl FaultKind {
@@ -63,6 +67,7 @@ impl FaultKind {
             FaultKind::TimerDrift { .. } => "timer_drift",
             FaultKind::DroppedWakeup { .. } => "dropped_wakeup",
             FaultKind::PoolSqueeze { .. } => "pool_squeeze",
+            FaultKind::PoolSqueezeShard { .. } => "pool_squeeze_shard",
         }
     }
 
@@ -91,7 +96,9 @@ impl FaultKind {
             FaultKind::RateShock { factor_x1000, .. }
             | FaultKind::ConsumerSlowdown { factor_x1000, .. } => factor_x1000 as u64,
             FaultKind::TimerDrift { delay_ns, .. } => delay_ns,
-            FaultKind::PoolSqueeze { units } => units as u64,
+            FaultKind::PoolSqueeze { units } | FaultKind::PoolSqueezeShard { units, .. } => {
+                units as u64
+            }
             FaultKind::ProducerStall { .. } | FaultKind::DroppedWakeup { .. } => 0,
         }
     }

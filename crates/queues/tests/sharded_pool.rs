@@ -1,0 +1,190 @@
+//! Property-based conservation checks for the sharded global pool
+//! (DESIGN.md §11).
+//!
+//! Arbitrary interleavings of buffer grows/shrinks, targeted and
+//! round-robin squeezes (the fault layer's overflow protocol) and
+//! partial refills must uphold, at *every* step:
+//!
+//! * **global conservation** — Σ buffer capacities + Σ tracked squeeze
+//!   holdings + pool available == pool total;
+//! * **per-shard conservation** — for each shard s: shard available +
+//!   Σ holdings attributed to s by every holder's provenance ledger ==
+//!   shard total (the provenance vectors are exactly what makes this
+//!   checkable);
+//! * **grant-sum equivalence** — a sharded pool grants in total exactly
+//!   what a single-counter pool of the same size would, for any shard
+//!   count (this is the lemma behind the `scale.json` byte-determinism
+//!   gate).
+
+use pc_queues::{ElasticBuffer, GlobalPool};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Grow buffer `b` toward `target`.
+    Grow { b: usize, target: usize },
+    /// Shrink buffer `b` toward `target`.
+    Shrink { b: usize, target: usize },
+    /// Round-robin squeeze from home shard `home` (best-effort `want`).
+    Squeeze { home: usize, want: usize },
+    /// Targeted squeeze confined to shard `shard`.
+    SqueezeShard { shard: usize, want: usize },
+    /// Refill `frac`/8ths of squeeze ledger `s`'s holdings.
+    Refill { s: usize, frac: usize },
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4, 1usize..80).prop_map(|(b, target)| Op::Grow { b, target }),
+            (0usize..4, 0usize..60).prop_map(|(b, target)| Op::Shrink { b, target }),
+            (0usize..8, 1usize..50).prop_map(|(home, want)| Op::Squeeze { home, want }),
+            (0usize..8, 1usize..50).prop_map(|(shard, want)| Op::SqueezeShard { shard, want }),
+            (0usize..3, 1usize..9).prop_map(|(s, frac)| Op::Refill { s, frac }),
+        ],
+        1..max,
+    )
+}
+
+/// One tracked squeeze ledger: provenance vector + how much it holds.
+struct Squeezer {
+    held: Vec<usize>,
+    home: usize,
+    holding: usize,
+}
+
+fn check_conservation(pool: &GlobalPool, buffers: &[ElasticBuffer<u32>], squeezers: &[Squeezer]) {
+    let buffer_caps: usize = buffers.iter().map(|b| b.capacity()).sum();
+    let squeezed: usize = squeezers.iter().map(|s| s.holding).sum();
+    prop_assert_eq!(
+        buffer_caps + squeezed + pool.available(),
+        pool.total(),
+        "global conservation"
+    );
+    for s in 0..pool.shards() {
+        let held_here: usize = buffers
+            .iter()
+            .map(|b| b.shard_holdings()[s])
+            .chain(squeezers.iter().map(|q| q.held[s]))
+            .sum();
+        prop_assert_eq!(
+            pool.shard_available(s) + held_here,
+            pool.shard_total(s),
+            "per-shard conservation on shard {}",
+            s
+        );
+    }
+    // Every provenance vector must sum to what its holder thinks it has.
+    for b in buffers {
+        prop_assert_eq!(b.shard_holdings().iter().sum::<usize>(), b.capacity());
+    }
+    for q in squeezers {
+        prop_assert_eq!(q.held.iter().sum::<usize>(), q.holding);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full interleaving property, across several shard counts.
+    #[test]
+    fn sharded_pool_conserves_under_interleavings(
+        shards in 1usize..6,
+        script in ops(120),
+    ) {
+        let total = 200usize;
+        let pool = GlobalPool::with_shards(total, shards);
+        let mut buffers: Vec<ElasticBuffer<u32>> = (0..4)
+            .map(|i| {
+                ElasticBuffer::with_min_at(Arc::clone(&pool), 20, 5, i)
+                    .expect("4×20 of 200 always fits")
+            })
+            .collect();
+        let mut squeezers: Vec<Squeezer> = (0..3)
+            .map(|i| Squeezer {
+                held: vec![0; pool.shards()],
+                home: i,
+                holding: 0,
+            })
+            .collect();
+
+        for op in script {
+            match op {
+                Op::Grow { b, target } => {
+                    buffers[b].grow_to(target);
+                }
+                Op::Shrink { b, target } => {
+                    buffers[b].shrink_to(target);
+                }
+                Op::Squeeze { home, want } => {
+                    let q = &mut squeezers[home % 3];
+                    let got = pool.acquire_at(q.home, want, &mut q.held);
+                    prop_assert!(got <= want);
+                    q.holding += got;
+                }
+                Op::SqueezeShard { shard, want } => {
+                    let q = &mut squeezers[shard % 3];
+                    let s = shard % pool.shards();
+                    let before = pool.shard_available(s);
+                    let got = pool.acquire_shard(s, want, &mut q.held);
+                    prop_assert_eq!(got, before.min(want), "targeted grant is exact");
+                    q.holding += got;
+                }
+                Op::Refill { s, frac } => {
+                    let q = &mut squeezers[s];
+                    let back = q.holding * frac / 8;
+                    if back > 0 {
+                        pool.restore_at(q.home, back, &mut q.held);
+                        q.holding -= back;
+                    }
+                }
+            }
+            check_conservation(&pool, &buffers, &squeezers);
+        }
+
+        // Teardown: squeezes repay, buffers drop; the pool must end full.
+        for q in &mut squeezers {
+            if q.holding > 0 {
+                pool.restore_at(q.home, q.holding, &mut q.held);
+                q.holding = 0;
+            }
+        }
+        check_conservation(&pool, &buffers, &squeezers);
+        drop(buffers);
+        prop_assert_eq!(pool.available(), pool.total(), "all units home after drop");
+    }
+
+    /// Grant-sum equivalence: replaying one script of best-effort
+    /// round-robin acquires and proportional restores grants identical
+    /// totals on a 1-shard and an S-shard pool at every step.
+    #[test]
+    fn grants_match_single_counter_pool(
+        shards in 2usize..6,
+        script in prop::collection::vec((0usize..6, 1usize..60, any::<bool>()), 1..80),
+    ) {
+        let total = 150usize;
+        let single = GlobalPool::with_shards(total, 1);
+        let sharded = GlobalPool::with_shards(total, shards);
+        let mut held_single = vec![0usize; 1];
+        let mut held_sharded = vec![0usize; shards];
+        let mut holding = 0usize;
+
+        for (home, want, restore) in script {
+            if restore {
+                let back = holding / 2;
+                if back > 0 {
+                    single.restore_at(0, back, &mut held_single);
+                    sharded.restore_at(home % shards, back, &mut held_sharded);
+                    holding -= back;
+                }
+            } else {
+                let a = single.acquire_at(0, want, &mut held_single);
+                let b = sharded.acquire_at(home % shards, want, &mut held_sharded);
+                prop_assert_eq!(a, b, "grant totals diverged");
+                holding += a;
+            }
+            prop_assert_eq!(single.available(), sharded.available());
+        }
+    }
+}

@@ -58,6 +58,10 @@ pub struct NativeHarness {
     /// wakeups, timer drift, pool squeezes) need the sim's event loop
     /// and are ignored here.
     pub fault_plan: FaultPlan,
+    /// Coordination shards per core manager and in the global pool
+    /// (DESIGN.md §11). 1 reproduces the unsharded layout; larger values
+    /// cut lock contention at large M.
+    pub shards: usize,
 }
 
 impl Default for NativeHarness {
@@ -73,6 +77,7 @@ impl Default for NativeHarness {
             seed: 42,
             trace_events: TraceHandle::disabled(),
             fault_plan: FaultPlan::empty(),
+            shards: 1,
         }
     }
 }
@@ -129,7 +134,7 @@ impl NativeHarness {
     /// Runs the configured experiment on real threads and blocks until
     /// all of them have joined.
     pub fn run(self) -> NativeRunReport {
-        assert!(self.pairs > 0 && self.cores > 0);
+        assert!(self.pairs > 0 && self.cores > 0 && self.shards > 0);
         let horizon = SimTime::ZERO + self.duration;
         let mut cfg = self.trace.clone();
         cfg.horizon = horizon;
@@ -146,7 +151,7 @@ impl NativeHarness {
             };
             let track = SlotTrack::new(pbpl.slot);
             let managers: Vec<Arc<NativeCoreManager>> = (0..self.cores)
-                .map(|_| NativeCoreManager::new(track, clock))
+                .map(|_| NativeCoreManager::new_sharded(track, clock, self.shards))
                 .collect();
             let threads: Vec<thread::JoinHandle<()>> = managers
                 .iter()
@@ -155,7 +160,7 @@ impl NativeHarness {
                     thread::spawn(move || m.run())
                 })
                 .collect();
-            let pool = GlobalPool::new(self.buffer_capacity * self.pairs);
+            let pool = GlobalPool::with_shards(self.buffer_capacity * self.pairs, self.shards);
             (managers, threads, Some(pool))
         } else {
             (Vec::new(), Vec::new(), None)

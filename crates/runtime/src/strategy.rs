@@ -546,8 +546,9 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
     let counters = Arc::new(PairCounters::new());
     let min_cap =
         ((ctx.capacity as f64 * cfg.min_capacity_frac).ceil() as usize).clamp(1, ctx.capacity);
+    let home = ctx.index % pool.shards();
     let buffer = Arc::new(Mutex::new(
-        ElasticBuffer::<Instant>::with_min(pool, ctx.capacity, min_cap)
+        ElasticBuffer::<Instant>::with_min_at(pool, ctx.capacity, min_cap, home)
             .expect("pool covers base reservations"),
     ));
     let waker = Arc::new(Semaphore::new(0));
@@ -606,7 +607,7 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
         let mut batch: Vec<Instant> = Vec::new();
         // Bootstrap reservation so the manager has something to arm.
         let now = clock.now_sim();
-        let bootstrap = cmgr.with_book(|book| {
+        let bootstrap = cmgr.with_book(index, |book| {
             select_slot(
                 book.track(),
                 book,
@@ -680,7 +681,7 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
             last_invocation = now;
             predictor.observe(batch.len() as u64, dt);
             let rate = predictor.rate();
-            let choice = cmgr.with_book(|book| {
+            let choice = cmgr.with_book(index, |book| {
                 select_slot(
                     book.track(),
                     book,
@@ -694,7 +695,8 @@ pub fn spawn_pbpl(ctx: PairContext) -> PairHandle {
                 )
             });
             if cfg.resizing {
-                let next_start = cmgr.with_book(|book| book.track().slot_start(choice.slot + 1));
+                let next_start =
+                    cmgr.with_book(index, |book| book.track().slot_start(choice.slot + 1));
                 let predicted = predicted_fill(rate, now, next_start);
                 if predicted > 0.0 {
                     let mut buf = cbuf.lock();

@@ -11,6 +11,9 @@
 //!   Markov-modulated Poisson (MMPP), and on/off bursts.
 //! * [`worldcup`] — the World-Cup-'98-like generator: diurnal baseline ×
 //!   flash-crowd bursts × MMPP noise, deterministic per seed.
+//! * [`planet`] — planet-scale fleets of per-pair traces for the
+//!   large-M scaling experiments: heterogeneous rates, time-zone phase
+//!   shifts, flash-crowd pairs.
 //! * [`trace`] — the [`Trace`] container: timestamps, phase shifting,
 //!   windowed rates, (de)serialisation.
 //! * [`rate`] — rate-series analysis: windowed rates, burstiness.
@@ -22,12 +25,14 @@
 
 pub mod arrival;
 pub mod io;
+pub mod planet;
 pub mod rate;
 pub mod trace;
 pub mod worldcup;
 
 pub use arrival::{ArrivalProcess, ConstantRate, MmppProcess, OnOffBurst, PoissonProcess};
 pub use io::{parse_common_log, parse_timestamp_lines, to_trace, LoadError, ReplayOptions};
+pub use planet::PlanetConfig;
 pub use rate::{burstiness_index, windowed_rates};
 pub use trace::Trace;
 pub use worldcup::WorldCupConfig;
