@@ -33,6 +33,7 @@ use pc_bench::chaos::{
 };
 use pc_bench::exp::{save_json, Protocol};
 use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_bench::replay;
 use serde::Serialize;
 use std::io::Write;
 use std::time::Instant;
@@ -220,6 +221,12 @@ fn main() {
                 cores: point.cores as u64,
                 buffer: point.buffer as u64,
                 seed,
+                duration_ns: protocol.duration.as_nanos(),
+                workload: replay::worldcup_workload_label(&protocol.trace)
+                    .unwrap_or_else(|| die("trace config matches no named workload — unreplayable"))
+                    .to_string(),
+                scenario: cell.scenario.name().to_string(),
+                period_ns: oracle::strategy_period_ns(&cell.strategy),
                 events: log.events.len() as u64,
                 dropped: log.dropped,
                 digest: log.digest(),

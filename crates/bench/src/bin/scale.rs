@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p pc-bench --bin scale -- [--filter NAME]...
-//!     [--threads N] [--shards N] [--list]
+//!     [--threads N] [--shards N] [--trace] [--list]
 //! ```
 //!
 //! Drives the planet-scale fleet workload (`pc_trace::planet`) through
@@ -18,13 +18,25 @@
 //! * `results/BENCH_scale.json` — wall-clock, thread count and shard
 //!   count. Host-dependent by design.
 //!
+//! `--trace` additionally records every cell's event stream, replays
+//! the oracle over it (violations fail the run) and exports
+//! `results/scale_trace.jsonl` in the suite's `CellMeta`/event JSONL
+//! format — consumable by `trace_report` and re-executable by `replay`
+//! (DESIGN.md §12). Recording is purely observational:
+//! `results/scale.json` stays byte-identical with and without it.
+//!
 //! `PC_DURATION_MS` (default 10 000), `PC_REPLICATES` (default 1),
 //! `PC_SEED`, `PC_THREADS` and `PC_SHARDS` apply; `--threads` and
 //! `--shards` override the env.
 
 use pc_bench::exp::{print_header, print_row, save_json, Row};
-use pc_bench::scale::{cell_report, cells_for, execute, scale_points, ScaleProtocol};
+use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_bench::replay;
+use pc_bench::scale::{
+    cell_report, cells_for, execute, execute_traced, scale_points, ScaleProtocol,
+};
 use serde::Serialize;
+use std::io::Write;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -59,6 +71,7 @@ struct Options {
     filters: Vec<String>,
     threads: Option<usize>,
     shards: Option<usize>,
+    trace: bool,
     list: bool,
 }
 
@@ -67,6 +80,7 @@ fn parse_args() -> Options {
         filters: Vec::new(),
         threads: None,
         shards: None,
+        trace: false,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -86,10 +100,12 @@ fn parse_args() -> Options {
                 let value = args.next().unwrap_or_else(|| die("--shards needs a value"));
                 options.shards = Some(parse_positive(&value, "--shards"));
             }
+            "--trace" => options.trace = true,
             "--list" => options.list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: scale [--filter NAME]... [--threads N] [--shards N] [--list]\n\
+                    "usage: scale [--filter NAME]... [--threads N] [--shards N]\n\
+                     \x20            [--trace] [--list]\n\
                      \n\
                      Runs the large-M scaling sweep (planet fleet workload,\n\
                      M in {{10, 100, 1000}}) on the sharded coordination layer\n\
@@ -97,6 +113,8 @@ fn parse_args() -> Options {
                      for any thread or shard count) and results/BENCH_scale.json\n\
                      (timings). --filter keeps only the named points\n\
                      (m10 | m100 | m1000; exact match, repeatable, OR).\n\
+                     --trace records event streams, replays the oracle and\n\
+                     exports results/scale_trace.jsonl.\n\
                      Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS,\n\
                      PC_SHARDS."
                 );
@@ -168,14 +186,72 @@ fn main() {
         protocol.shards
     );
 
+    let mut trace_out = if options.trace {
+        let path = std::path::Path::new("results").join("scale_trace.jsonl");
+        std::fs::create_dir_all("results")
+            .unwrap_or_else(|e| die(&format!("cannot create results/: {e}")));
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
+        Some((path, std::io::BufWriter::new(file)))
+    } else {
+        None
+    };
+    let workload_label = replay::planet_workload_label(&protocol.workload)
+        .unwrap_or_else(|| die("workload matches no named configuration — unreplayable"));
+    let mut oracle_failures: Vec<String> = Vec::new();
+    let mut traced_events = 0u64;
+
     let start = Instant::now();
     let mut reports = Vec::new();
     let mut timings = Vec::new();
     for p in &selected {
         let cells = cells_for(&[p], protocol.replicates);
         let started = Instant::now();
-        let runs = execute(&protocol, &cells);
+        let (runs, logs) = if options.trace {
+            let traced = execute_traced(&protocol, &cells);
+            let mut runs = Vec::with_capacity(traced.len());
+            let mut logs = Vec::with_capacity(traced.len());
+            for (m, log) in traced {
+                runs.push(m);
+                logs.push(log);
+            }
+            (runs, logs)
+        } else {
+            (execute(&protocol, &cells), Vec::new())
+        };
         let wall_ms = started.elapsed().as_millis() as u64;
+
+        if let Some((path, out)) = trace_out.as_mut() {
+            for (cell, log) in cells.iter().zip(&logs) {
+                let meta = CellMeta {
+                    experiment: format!("scale_{}", p.name),
+                    strategy: cell.strategy.name().to_string(),
+                    pairs: cell.point.pairs as u64,
+                    cores: cell.point.cores as u64,
+                    buffer: cell.point.buffer as u64,
+                    seed: protocol.base_seed + cell.replicate as u64,
+                    duration_ns: protocol.duration.as_nanos(),
+                    workload: workload_label.to_string(),
+                    scenario: String::new(),
+                    period_ns: oracle::strategy_period_ns(&cell.strategy),
+                    events: log.events.len() as u64,
+                    dropped: log.dropped,
+                    digest: log.digest(),
+                };
+                let label = meta.label();
+                writeln!(out, "{}", oracle::line_to_json(&TraceLine::Cell(meta)))
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+                for ev in &log.events {
+                    writeln!(out, "{}", oracle::line_to_json(&TraceLine::Ev(ev.clone())))
+                        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+                }
+                traced_events += log.events.len() as u64;
+                let report = oracle::check(log);
+                for violation in report.violations {
+                    oracle_failures.push(format!("{label}: {violation}"));
+                }
+            }
+        }
 
         print_header(&format!("scale {} (M={})", p.name, p.point.pairs));
         for (chunk_index, group) in runs.chunks(protocol.replicates).enumerate() {
@@ -222,5 +298,22 @@ fn main() {
             points: timings,
         },
     );
+    if let Some((path, mut out)) = trace_out {
+        out.flush()
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!("[saved {}] ({} events)", path.display(), traced_events);
+        if oracle_failures.is_empty() {
+            println!("scale: replay oracle clean over {traced_events} events");
+        } else {
+            for failure in &oracle_failures {
+                eprintln!("scale: oracle violation: {failure}");
+            }
+            eprintln!(
+                "scale: {} oracle violation(s) — see above",
+                oracle_failures.len()
+            );
+            std::process::exit(1);
+        }
+    }
     println!("scale: done in {total_wall_ms} ms");
 }

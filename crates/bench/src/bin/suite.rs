@@ -34,6 +34,7 @@ use pc_bench::exp::{
     evaluated_strategies, print_header, print_row, save_json, single_pc_strategies, Protocol, Row,
 };
 use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_bench::replay;
 use pc_bench::sweep::{execute, execute_traced, CellSpec, GridPoint, SweepSpec};
 use pc_core::{PbplConfig, StrategyKind};
 use pc_sim::SimDuration;
@@ -353,6 +354,14 @@ fn main() {
                     cores: cell.point.cores as u64,
                     buffer: cell.point.buffer as u64,
                     seed: protocol.base_seed + cell.replicate as u64,
+                    duration_ns: protocol.duration.as_nanos(),
+                    workload: replay::worldcup_workload_label(&protocol.trace)
+                        .unwrap_or_else(|| {
+                            die("trace config matches no named workload — unreplayable")
+                        })
+                        .to_string(),
+                    scenario: String::new(),
+                    period_ns: oracle::strategy_period_ns(&cell.strategy),
                     events: log.events.len() as u64,
                     dropped: log.dropped,
                     digest: log.digest(),

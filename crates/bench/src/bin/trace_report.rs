@@ -7,7 +7,8 @@
 //!
 //! `FILE` defaults to `results/suite_trace.jsonl` (what `suite --trace`
 //! writes). For each cell the report parses the `CellMeta` header and
-//! the event lines that follow, then checks that
+//! the event lines that follow (via the shared `pc_bench::replay`
+//! parser), then checks that
 //!
 //! * the recorded event count and FNV digest match the header (drift or
 //!   tampering between export and replay is caught, not assumed away),
@@ -15,17 +16,13 @@
 //!   violations.
 //!
 //! Exits non-zero on any parse error, mismatch or violation, which is
-//! what lets CI treat an exported artifact as self-verifying.
+//! what lets CI treat an exported artifact as self-verifying. To
+//! re-*execute* the cells instead of verifying the recording, see the
+//! `replay` binary (DESIGN.md §12).
 
-use pc_bench::oracle::{self, CellMeta, TraceLine};
-use pc_trace_events::{digest, Event, TraceLog, TRACE_SCHEMA_VERSION};
-use std::io::{BufRead, BufReader};
-
-/// One cell reassembled from the JSONL stream.
-struct CellTrace {
-    meta: CellMeta,
-    events: Vec<Event>,
-}
+use pc_bench::oracle;
+use pc_bench::replay::parse_export_file;
+use pc_trace_events::digest;
 
 fn main() {
     let path = std::env::args()
@@ -43,53 +40,15 @@ fn main() {
         return;
     }
 
-    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
-        eprintln!("trace_report: cannot open {path}: {e}");
+    let cells = parse_export_file(&path).unwrap_or_else(|e| {
+        eprintln!("trace_report: {e}");
         std::process::exit(2);
     });
-
-    let mut cells: Vec<CellTrace> = Vec::new();
-    for (lineno, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.unwrap_or_else(|e| {
-            eprintln!("trace_report: {path}:{}: read error: {e}", lineno + 1);
-            std::process::exit(2);
-        });
-        if line.trim().is_empty() {
-            continue;
-        }
-        match oracle::line_from_json(&line) {
-            Ok(TraceLine::Cell(meta)) => cells.push(CellTrace {
-                meta,
-                events: Vec::new(),
-            }),
-            Ok(TraceLine::Ev(ev)) => match cells.last_mut() {
-                Some(cell) => cell.events.push(ev),
-                None => {
-                    eprintln!(
-                        "trace_report: {path}:{}: event before any cell header",
-                        lineno + 1
-                    );
-                    std::process::exit(2);
-                }
-            },
-            Err(e) => {
-                eprintln!("trace_report: {path}:{}: bad line: {e}", lineno + 1);
-                std::process::exit(2);
-            }
-        }
-    }
 
     let mut failures = 0u64;
     let mut total_events = 0u64;
     for cell in &cells {
-        let label = format!(
-            "{} {} M={} B={} seed={}",
-            cell.meta.experiment,
-            cell.meta.strategy,
-            cell.meta.pairs,
-            cell.meta.buffer,
-            cell.meta.seed
-        );
+        let label = cell.meta.label();
         total_events += cell.events.len() as u64;
         let mut problems: Vec<String> = Vec::new();
 
@@ -107,11 +66,7 @@ fn main() {
                 cell.meta.digest
             ));
         }
-        let report = oracle::check(&TraceLog {
-            schema_version: TRACE_SCHEMA_VERSION,
-            events: cell.events.clone(),
-            dropped: cell.meta.dropped,
-        });
+        let report = oracle::check(&cell.log());
         problems.extend(report.violations);
 
         if problems.is_empty() {

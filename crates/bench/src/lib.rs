@@ -10,5 +10,6 @@
 pub mod chaos;
 pub mod exp;
 pub mod oracle;
+pub mod replay;
 pub mod scale;
 pub mod sweep;

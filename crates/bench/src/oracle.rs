@@ -446,6 +446,15 @@ fn check_faults(events: &[Event], violations: &mut Vec<String>) {
 /// Per-cell metadata line of a JSONL trace export: identifies the suite
 /// cell the following [`TraceLine::Ev`] lines belong to and pins its
 /// digest so `trace_report` can detect tampering or drift.
+///
+/// The header is also the *replay recipe*: `pc_bench::replay`
+/// reconstructs the cell's full configuration from these fields alone
+/// (strategy label + `period_ns`, named `workload`, `duration_ns`,
+/// geometry, seed, and — for chaos cells — the `scenario` whose fault
+/// plan re-expands deterministically), re-runs the simulation, and
+/// compares the regenerated stream event-by-event against the
+/// recording. Anything a replay needs must live here, and nothing
+/// host-dependent ever may.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellMeta {
     /// Experiment id (e.g. `fig4_wakeups`).
@@ -460,6 +469,20 @@ pub struct CellMeta {
     pub buffer: u64,
     /// Seed the cell ran under.
     pub seed: u64,
+    /// Run horizon in sim nanoseconds.
+    pub duration_ns: u64,
+    /// Named workload the cell ran (`worldcup_paper`, `worldcup_quick`,
+    /// `planet_scale`, `planet_quick`) — replay maps the name back to
+    /// the constructor, so only registered configurations are
+    /// exportable.
+    pub workload: String,
+    /// Fault scenario name ([`pc_faults::FaultScenario::name`]); empty
+    /// for fault-free cells.
+    pub scenario: String,
+    /// Exact period of parameterised periodic strategies (PBP/SPBP) in
+    /// nanoseconds; zero when the strategy has no period. The display
+    /// label rounds to microseconds, which is too coarse to re-run.
+    pub period_ns: u64,
     /// Events recorded for the cell.
     pub events: u64,
     /// Events dropped past the recorder bound.
@@ -467,6 +490,27 @@ pub struct CellMeta {
     /// FNV-1a digest of the cell's event stream
     /// ([`pc_trace_events::digest`]).
     pub digest: u64,
+}
+
+impl CellMeta {
+    /// Stable single-line cell label used in reports and diagnostics.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} M={} B={} seed={}",
+            self.experiment, self.strategy, self.pairs, self.buffer, self.seed
+        )
+    }
+}
+
+/// The exact period of a parameterised periodic strategy, or zero — the
+/// `period_ns` field of [`CellMeta`].
+pub fn strategy_period_ns(strategy: &pc_core::StrategyKind) -> u64 {
+    match strategy {
+        pc_core::StrategyKind::Pbp { period } | pc_core::StrategyKind::Spbp { period } => {
+            period.as_nanos()
+        }
+        _ => 0,
+    }
 }
 
 /// One line of a JSONL trace export: either a cell header or an event of
@@ -827,6 +871,10 @@ mod tests {
                 cores: 4,
                 buffer: 25,
                 seed: 42,
+                duration_ns: 50_000_000,
+                workload: "worldcup_quick".into(),
+                scenario: String::new(),
+                period_ns: 0,
                 events: 2,
                 dropped: 0,
                 digest: 0xdead_beef_dead_beef,

@@ -1,0 +1,664 @@
+//! Executable trace replay: re-drive a recorded cell and fail on the
+//! first divergence.
+//!
+//! The oracle (`crate::oracle`) *verifies* a recorded stream against
+//! the system invariants; this module goes the other way and *re-runs*
+//! the execution the stream came from. A [`CellMeta`] header is a
+//! complete replay recipe — strategy (label + exact `period_ns`),
+//! named workload, horizon, geometry, seed, and the fault scenario
+//! whose plan re-expands deterministically from `(scenario, seed,
+//! env)` — so [`rerun_cell`] reconstructs the experiment, runs it with
+//! a recorder attached, and [`first_divergence`] compares the
+//! regenerated event stream against the recording event-by-event
+//! (sequence number, sim time and payload all must match). The first
+//! mismatch is reported wasm-rr-style with a ±[`CONTEXT_WINDOW`]-event
+//! context window; `replay --digest-only` skips the per-event diff and
+//! compares the FNV canonical-JSON digests instead.
+//!
+//! The same parser ([`parse_export`]) backs the `trace_report` and
+//! `replay` binaries, and the golden fixtures under `tests/fixtures/`
+//! are rendered by [`render_fixture`] from the [`fixture_defs`] table —
+//! regeneration is `cargo run -p pc-bench --bin replay --
+//! --regen-fixtures` (see DESIGN.md §12).
+
+use crate::oracle::{self, CellMeta, TraceLine};
+use crate::sweep::trace_capacity_from_env;
+use pc_core::{Experiment, PbplConfig, StrategyKind};
+use pc_faults::{ExpandEnv, FaultPlan, FaultScenario};
+use pc_sim::{SimDuration, SimTime};
+use pc_trace::{PlanetConfig, WorldCupConfig};
+use pc_trace_events::{Event, Recorder, TraceLog};
+use std::io::BufRead;
+use std::path::PathBuf;
+
+/// One cell reassembled from a JSONL export: its header plus the event
+/// lines that followed it.
+#[derive(Debug, Clone)]
+pub struct CellTrace {
+    /// The cell's header line.
+    pub meta: CellMeta,
+    /// The recorded events, in stream order.
+    pub events: Vec<Event>,
+}
+
+impl CellTrace {
+    /// The recording as a [`TraceLog`] (for the oracle).
+    pub fn log(&self) -> TraceLog {
+        TraceLog {
+            schema_version: pc_trace_events::TRACE_SCHEMA_VERSION,
+            events: self.events.clone(),
+            dropped: self.meta.dropped,
+        }
+    }
+}
+
+/// A parse failure, located by 1-based line number so CLI callers can
+/// print `path:line: message`.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Parses a JSONL trace export into cells. Blank lines are skipped;
+/// an event before any cell header, an unreadable line, or malformed
+/// JSON is an error with its line number.
+pub fn parse_export(reader: impl BufRead) -> Result<Vec<CellTrace>, ParseError> {
+    let mut cells: Vec<CellTrace> = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let lineno = index + 1;
+        let line = line.map_err(|e| ParseError {
+            line: lineno,
+            msg: format!("read error: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match oracle::line_from_json(&line) {
+            Ok(TraceLine::Cell(meta)) => cells.push(CellTrace {
+                meta,
+                events: Vec::new(),
+            }),
+            Ok(TraceLine::Ev(ev)) => match cells.last_mut() {
+                Some(cell) => cell.events.push(ev),
+                None => {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: "event before any cell header".to_string(),
+                    })
+                }
+            },
+            Err(e) => {
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("bad line: {e}"),
+                })
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Opens and parses a JSONL export file; errors are prefixed with
+/// `path:line`.
+pub fn parse_export_file(path: &str) -> Result<Vec<CellTrace>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    parse_export(std::io::BufReader::new(file)).map_err(|e| format!("{path}:{}: {}", e.line, e.msg))
+}
+
+/// The workload registry: every exportable workload is one of these
+/// named configurations, compared with the horizon normalised away
+/// (the experiment builder stretches the horizon to the run duration).
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Single shared World-Cup trace config (suite/chaos cells).
+    WorldCup(WorldCupConfig),
+    /// Planet-fleet config; replay regenerates the per-pair fleet from
+    /// `(config, seed, pairs)` (scale cells).
+    Planet(PlanetConfig),
+}
+
+/// Name of the World-Cup workload `cfg`, ignoring its horizon — or
+/// `None` if it matches no registered configuration (such a cell could
+/// not be replayed, so exporters refuse to write it).
+pub fn worldcup_workload_label(cfg: &WorldCupConfig) -> Option<&'static str> {
+    let mut paper = WorldCupConfig::paper_default();
+    paper.horizon = cfg.horizon;
+    if *cfg == paper {
+        return Some("worldcup_paper");
+    }
+    let mut quick = WorldCupConfig::quick_test();
+    quick.horizon = cfg.horizon;
+    if *cfg == quick {
+        return Some("worldcup_quick");
+    }
+    None
+}
+
+/// Name of the planet-fleet workload `cfg`, ignoring the base horizon.
+pub fn planet_workload_label(cfg: &PlanetConfig) -> Option<&'static str> {
+    let mut scale = PlanetConfig::scale_default();
+    scale.base.horizon = cfg.base.horizon;
+    if *cfg == scale {
+        return Some("planet_scale");
+    }
+    let mut quick = PlanetConfig::quick_test();
+    quick.base.horizon = cfg.base.horizon;
+    if *cfg == quick {
+        return Some("planet_quick");
+    }
+    None
+}
+
+/// Maps a workload name back to its constructor.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    match name {
+        "worldcup_paper" => Some(Workload::WorldCup(WorldCupConfig::paper_default())),
+        "worldcup_quick" => Some(Workload::WorldCup(WorldCupConfig::quick_test())),
+        "planet_scale" => Some(Workload::Planet(PlanetConfig::scale_default())),
+        "planet_quick" => Some(Workload::Planet(PlanetConfig::quick_test())),
+        _ => None,
+    }
+}
+
+/// Inverts the strategy display label (plus the exact `period_ns` for
+/// the periodic strategies — the label's microseconds are truncated).
+pub fn rebuild_strategy(meta: &CellMeta) -> Result<StrategyKind, String> {
+    let label = meta.strategy.as_str();
+    let period = || -> Result<SimDuration, String> {
+        if meta.period_ns == 0 {
+            return Err(format!(
+                "strategy {label} needs period_ns, but the header says 0"
+            ));
+        }
+        Ok(SimDuration::from_nanos(meta.period_ns))
+    };
+    match label {
+        "BW" => Ok(StrategyKind::BusyWait),
+        "Yield" => Ok(StrategyKind::Yield),
+        "Mutex" => Ok(StrategyKind::Mutex),
+        "Sem" => Ok(StrategyKind::Sem),
+        "BP" => Ok(StrategyKind::Bp),
+        "PBPL" => Ok(StrategyKind::pbpl_default()),
+        "PBPL(fixed)" => Ok(StrategyKind::Pbpl(PbplConfig {
+            resizing: false,
+            ..PbplConfig::default()
+        })),
+        "PBPL(degraded)" => Ok(StrategyKind::pbpl_degraded()),
+        _ if label.starts_with("PBP@") => Ok(StrategyKind::Pbp { period: period()? }),
+        _ if label.starts_with("SPBP@") => Ok(StrategyKind::Spbp { period: period()? }),
+        other => Err(format!("unknown strategy label {other:?}")),
+    }
+}
+
+/// Re-runs the cell `meta` describes and returns the regenerated event
+/// stream. The reconstruction mirrors the exporters exactly: the suite
+/// builder path for World-Cup workloads, the scale builder path
+/// (pre-generated fleet) for planet workloads, and the chaos fault
+/// plan re-expanded from `(scenario, seed, env)` when a scenario is
+/// named. The recorder bound follows `PC_TRACE_CAP` like the
+/// exporters, so even a truncated recording replays bit-identically.
+pub fn rerun_cell(meta: &CellMeta) -> Result<TraceLog, String> {
+    let strategy = rebuild_strategy(meta)?;
+    if meta.duration_ns == 0 {
+        return Err("header duration_ns is 0".to_string());
+    }
+    let duration = SimDuration::from_nanos(meta.duration_ns);
+    let recorder = Recorder::bounded(trace_capacity_from_env());
+    let mut builder = Experiment::builder()
+        .pairs(meta.pairs as usize)
+        .cores(meta.cores as usize)
+        .duration(duration)
+        .strategy(strategy.clone())
+        .seed(meta.seed)
+        .buffer_capacity(meta.buffer as usize)
+        .record_events(recorder.handle());
+    match workload_by_name(&meta.workload) {
+        Some(Workload::WorldCup(cfg)) => builder = builder.trace(cfg),
+        Some(Workload::Planet(mut cfg)) => {
+            cfg.base.horizon = SimTime::ZERO + duration;
+            builder = builder.traces(cfg.traces(meta.seed, meta.pairs as usize));
+        }
+        None => return Err(format!("unknown workload {:?}", meta.workload)),
+    }
+    if !meta.scenario.is_empty() {
+        let scenario = FaultScenario::from_name(&meta.scenario)
+            .ok_or_else(|| format!("unknown fault scenario {:?}", meta.scenario))?;
+        let env = ExpandEnv {
+            horizon_ns: meta.duration_ns,
+            pairs: meta.pairs as u32,
+            cores: meta.cores as u32,
+            pool_total: if strategy.is_batching() {
+                meta.buffer * meta.pairs
+            } else {
+                0
+            },
+        };
+        builder = builder.faults(FaultPlan::expand(scenario, meta.seed, &env));
+    }
+    builder.run();
+    Ok(recorder.take())
+}
+
+/// Events shown on each side of a divergence.
+pub const CONTEXT_WINDOW: usize = 8;
+
+/// The first point where a regenerated stream departs from the
+/// recording.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index into the streams of the first mismatch.
+    pub index: usize,
+    /// What the recording holds there (`None`: recording ended early).
+    pub expected: Option<Event>,
+    /// What the replay produced there (`None`: replay ended early).
+    pub got: Option<Event>,
+}
+
+impl Divergence {
+    /// Sequence number of the first divergent event (the recording's
+    /// if present, else the replay's).
+    pub fn seq(&self) -> u64 {
+        self.expected
+            .as_ref()
+            .or(self.got.as_ref())
+            .map(|e| e.seq)
+            .expect("a divergence names at least one event")
+    }
+}
+
+/// Compares the recording against the regenerated stream event-by-event
+/// (seq, sim time and payload). Returns the first divergence, or `None`
+/// when the streams are identical.
+pub fn first_divergence(recorded: &[Event], regenerated: &[Event]) -> Option<Divergence> {
+    let n = recorded.len().max(regenerated.len());
+    for i in 0..n {
+        let expected = recorded.get(i);
+        let got = regenerated.get(i);
+        if expected != got {
+            return Some(Divergence {
+                index: i,
+                expected: expected.cloned(),
+                got: got.cloned(),
+            });
+        }
+    }
+    None
+}
+
+fn side(label: &str, events: &[Event], index: usize, out: &mut String) {
+    let lo = index.saturating_sub(CONTEXT_WINDOW);
+    let hi = (index + CONTEXT_WINDOW + 1).min(events.len());
+    out.push_str(&format!("  {label} [{lo}..{hi}):\n"));
+    if lo >= hi {
+        out.push_str("    (stream ended)\n");
+        return;
+    }
+    for (i, ev) in events.iter().enumerate().take(hi).skip(lo) {
+        let marker = if i == index { '>' } else { ' ' };
+        out.push_str(&format!("   {marker} {}\n", ev.summary()));
+    }
+}
+
+/// Renders a divergence wasm-rr-style: the mismatching pair, then a
+/// ±[`CONTEXT_WINDOW`]-event window of both streams with the divergent
+/// index marked.
+pub fn divergence_message(recorded: &[Event], regenerated: &[Event], d: &Divergence) -> String {
+    let mut out = String::new();
+    let describe = |ev: &Option<Event>, ended: &str| match ev {
+        Some(ev) => ev.summary(),
+        None => ended.to_string(),
+    };
+    out.push_str(&format!(
+        "first divergence at index {} (seq {}): expected {}, got {}\n",
+        d.index,
+        d.seq(),
+        describe(&d.expected, "end of recording"),
+        describe(&d.got, "end of replay"),
+    ));
+    side("recorded", recorded, d.index, &mut out);
+    side("replayed", regenerated, d.index, &mut out);
+    out
+}
+
+/// Outcome of replaying one cell.
+pub enum CellReplay {
+    /// The regenerated stream matched the recording exactly.
+    Match {
+        /// Events compared.
+        events: u64,
+    },
+    /// The streams differ; the report includes the context window.
+    Diverged {
+        /// First divergent sequence number.
+        seq: u64,
+        /// Human-readable report ([`divergence_message`]).
+        report: String,
+    },
+    /// The cell could not be reconstructed (unknown strategy, workload
+    /// or scenario, or a zero duration).
+    Unreplayable(String),
+}
+
+/// Replays one cell end-to-end. With `digest_only`, the event streams
+/// are compared through their FNV canonical-JSON digests instead of
+/// event-by-event — same verdict on match, coarser report on mismatch.
+pub fn replay_cell(cell: &CellTrace, digest_only: bool) -> CellReplay {
+    let regenerated = match rerun_cell(&cell.meta) {
+        Ok(log) => log,
+        Err(e) => return CellReplay::Unreplayable(e),
+    };
+    if digest_only {
+        let expected = pc_trace_events::digest(&cell.events);
+        let got = regenerated.digest();
+        if expected == got {
+            return CellReplay::Match {
+                events: cell.events.len() as u64,
+            };
+        }
+        // Fall through to the event-level diff only to find the seq —
+        // the caller asked for digests, so keep the report terse.
+        let seq = first_divergence(&cell.events, &regenerated.events)
+            .map(|d| d.seq())
+            .unwrap_or(0);
+        return CellReplay::Diverged {
+            seq,
+            report: format!(
+                "digest mismatch: recorded {expected:016x}, replayed {got:016x} (first divergent seq {seq})\n"
+            ),
+        };
+    }
+    match first_divergence(&cell.events, &regenerated.events) {
+        None => CellReplay::Match {
+            events: cell.events.len() as u64,
+        },
+        Some(d) => CellReplay::Diverged {
+            seq: d.seq(),
+            report: divergence_message(&cell.events, &regenerated.events, &d),
+        },
+    }
+}
+
+/// Directory of the checked-in golden fixtures (`tests/fixtures/` at
+/// the repository root).
+pub fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+/// The golden fixture cells: one canonical cell from each sweep family
+/// (suite, chaos, scale), on the quick workloads so the checked-in
+/// files stay small. The `events`/`dropped`/`digest` fields are
+/// prototypes — [`render_fixture`] fills them from the actual run.
+pub fn fixture_defs() -> Vec<(&'static str, CellMeta)> {
+    let proto = |experiment: &str,
+                 strategy: &str,
+                 pairs: u64,
+                 cores: u64,
+                 buffer: u64,
+                 seed: u64,
+                 duration_ns: u64,
+                 workload: &str,
+                 scenario: &str| CellMeta {
+        experiment: experiment.to_string(),
+        strategy: strategy.to_string(),
+        pairs,
+        cores,
+        buffer,
+        seed,
+        duration_ns,
+        workload: workload.to_string(),
+        scenario: scenario.to_string(),
+        period_ns: 0,
+        events: 0,
+        dropped: 0,
+        digest: 0,
+    };
+    vec![
+        // The paper's Fig. 9 point under PBPL: slot reservations,
+        // elastic pool traffic and core spans all present.
+        (
+            "suite_cell.jsonl",
+            proto(
+                "fig09_five_consumers",
+                "PBPL",
+                5,
+                2,
+                25,
+                7,
+                30_000_000,
+                "worldcup_quick",
+                "",
+            ),
+        ),
+        // A rate shock against degraded PBPL: fault windows plus the
+        // watchdog's emergency rebalance path.
+        (
+            "chaos_cell.jsonl",
+            proto(
+                "chaos_rate_shock",
+                "PBPL(degraded)",
+                5,
+                2,
+                25,
+                11,
+                60_000_000,
+                "worldcup_quick",
+                "rate_shock",
+            ),
+        ),
+        // The scale sweep's smallest point on the planet fleet.
+        (
+            "scale_cell.jsonl",
+            proto(
+                "scale_m10",
+                "PBPL",
+                10,
+                2,
+                25,
+                3,
+                30_000_000,
+                "planet_quick",
+                "",
+            ),
+        ),
+    ]
+}
+
+/// Renders one fixture: re-runs the prototype cell, completes the
+/// header from the recording, and returns the exact JSONL bytes the
+/// checked-in file must contain.
+pub fn render_fixture(proto: &CellMeta) -> Result<String, String> {
+    let log = rerun_cell(proto)?;
+    let mut meta = proto.clone();
+    meta.events = log.events.len() as u64;
+    meta.dropped = log.dropped;
+    meta.digest = log.digest();
+    let mut out = String::new();
+    out.push_str(&oracle::line_to_json(&TraceLine::Cell(meta)));
+    out.push('\n');
+    for ev in &log.events {
+        out.push_str(&oracle::line_to_json(&TraceLine::Ev(ev.clone())));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_trace_events::TraceEvent;
+
+    fn meta(strategy: &str, scenario: &str) -> CellMeta {
+        CellMeta {
+            experiment: "test".into(),
+            strategy: strategy.into(),
+            pairs: 2,
+            cores: 2,
+            buffer: 25,
+            seed: 5,
+            duration_ns: 20_000_000,
+            workload: "worldcup_quick".into(),
+            scenario: scenario.into(),
+            period_ns: 0,
+            events: 0,
+            dropped: 0,
+            digest: 0,
+        }
+    }
+
+    #[test]
+    fn strategy_labels_roundtrip() {
+        for (label, period_ns, expect) in [
+            ("BW", 0, StrategyKind::BusyWait),
+            ("Yield", 0, StrategyKind::Yield),
+            ("Mutex", 0, StrategyKind::Mutex),
+            ("Sem", 0, StrategyKind::Sem),
+            ("BP", 0, StrategyKind::Bp),
+            ("PBPL", 0, StrategyKind::pbpl_default()),
+            ("PBPL(degraded)", 0, StrategyKind::pbpl_degraded()),
+            (
+                "PBP@26881us",
+                26_881_720,
+                StrategyKind::Pbp {
+                    period: SimDuration::from_nanos(26_881_720),
+                },
+            ),
+            (
+                "SPBP@3000us",
+                3_000_000,
+                StrategyKind::Spbp {
+                    period: SimDuration::from_nanos(3_000_000),
+                },
+            ),
+        ] {
+            let mut m = meta(label, "");
+            m.period_ns = period_ns;
+            assert_eq!(rebuild_strategy(&m).unwrap(), expect, "{label}");
+        }
+        let fixed = rebuild_strategy(&meta("PBPL(fixed)", "")).unwrap();
+        match fixed {
+            StrategyKind::Pbpl(cfg) => assert!(!cfg.resizing),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rebuild_strategy(&meta("NOPE", "")).is_err());
+        // Periodic labels without the exact period are unreplayable.
+        assert!(rebuild_strategy(&meta("PBP@100us", "")).is_err());
+    }
+
+    #[test]
+    fn workload_labels_roundtrip_and_reject_unknown() {
+        let mut cfg = WorldCupConfig::paper_default();
+        cfg.horizon = SimTime::from_millis(123); // horizon is normalised away
+        assert_eq!(worldcup_workload_label(&cfg), Some("worldcup_paper"));
+        assert_eq!(
+            worldcup_workload_label(&WorldCupConfig::quick_test()),
+            Some("worldcup_quick")
+        );
+        cfg.mean_rate += 1.0;
+        assert_eq!(worldcup_workload_label(&cfg), None);
+
+        assert_eq!(
+            planet_workload_label(&PlanetConfig::scale_default()),
+            Some("planet_scale")
+        );
+        assert_eq!(
+            planet_workload_label(&PlanetConfig::quick_test()),
+            Some("planet_quick")
+        );
+        assert!(workload_by_name("worldcup_paper").is_some());
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn rerun_is_bit_identical_and_comparator_sees_it() {
+        let m = meta("PBPL", "");
+        let a = rerun_cell(&m).unwrap();
+        let b = rerun_cell(&m).unwrap();
+        assert!(!a.events.is_empty());
+        assert_eq!(a.digest(), b.digest());
+        assert!(first_divergence(&a.events, &b.events).is_none());
+    }
+
+    #[test]
+    fn chaos_rerun_reexpands_the_fault_plan() {
+        let m = meta("PBPL(degraded)", "rate_shock");
+        let log = rerun_cell(&m).unwrap();
+        assert!(
+            log.events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEvent::FaultInjected { .. })),
+            "re-expanded plan must fire"
+        );
+        assert_eq!(log.digest(), rerun_cell(&m).unwrap().digest());
+    }
+
+    #[test]
+    fn divergence_reports_first_mismatching_seq() {
+        let m = meta("BP", "");
+        let base = rerun_cell(&m).unwrap().events;
+        assert!(base.len() > 20);
+
+        // Retime one event mid-stream.
+        let mut retimed = base.clone();
+        let idx = base.len() / 2;
+        retimed[idx].t_ns += 1;
+        let d = first_divergence(&retimed, &base).expect("diverges");
+        assert_eq!(d.index, idx);
+        assert_eq!(d.seq(), base[idx].seq);
+        let msg = divergence_message(&retimed, &base, &d);
+        assert!(msg.contains(&format!("seq {}", base[idx].seq)), "{msg}");
+        assert!(msg.contains("recorded"), "{msg}");
+
+        // Truncate: the recording ends early.
+        let shorter = &base[..base.len() - 3];
+        let d = first_divergence(shorter, &base).expect("length mismatch diverges");
+        assert_eq!(d.index, base.len() - 3);
+        assert!(d.expected.is_none());
+        assert!(divergence_message(shorter, &base, &d).contains("end of recording"));
+    }
+
+    #[test]
+    fn parse_export_reports_line_numbers() {
+        let good = "\n";
+        assert!(parse_export(good.as_bytes()).unwrap().is_empty());
+
+        let orphan = r#"{"Ev":{"seq":0,"t_ns":1,"kind":{"Produce":{"pair":0}}}}"#;
+        let err = parse_export(orphan.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("before any cell header"));
+
+        let garbage = "not json\n";
+        let err = parse_export(garbage.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("bad line"));
+    }
+
+    #[test]
+    fn replay_cell_matches_its_own_recording() {
+        let m = meta("Mutex", "");
+        let log = rerun_cell(&m).unwrap();
+        let mut full = m.clone();
+        full.events = log.events.len() as u64;
+        full.dropped = log.dropped;
+        full.digest = log.digest();
+        let cell = CellTrace {
+            meta: full,
+            events: log.events,
+        };
+        for digest_only in [false, true] {
+            match replay_cell(&cell, digest_only) {
+                CellReplay::Match { events } => assert!(events > 0),
+                CellReplay::Diverged { report, .. } => panic!("diverged: {report}"),
+                CellReplay::Unreplayable(e) => panic!("unreplayable: {e}"),
+            }
+        }
+    }
+}

@@ -162,6 +162,43 @@ pub fn run_cell(protocol: &ScaleProtocol, cell: &CellSpec, fleet: &Arc<Vec<Trace
         .run()
 }
 
+/// Traced variant of [`run_cell`]: records the cell's event stream into
+/// a bounded recorder. Recording is purely observational — the metrics
+/// are bit-identical to [`run_cell`]'s, so `results/scale.json` stays
+/// byte-stable under `--trace`.
+pub fn run_cell_traced(
+    protocol: &ScaleProtocol,
+    cell: &CellSpec,
+    fleet: &Arc<Vec<Trace>>,
+) -> (RunMetrics, pc_trace_events::TraceLog) {
+    let recorder = pc_trace_events::Recorder::bounded(crate::sweep::trace_capacity_from_env());
+    let metrics = Experiment::builder()
+        .pairs(cell.point.pairs)
+        .cores(cell.point.cores)
+        .duration(protocol.duration)
+        .strategy(cell.strategy.clone())
+        .traces(fleet.as_ref().clone())
+        .seed(protocol.base_seed + cell.replicate as u64)
+        .buffer_capacity(cell.point.buffer)
+        .shards(protocol.shards)
+        .record_events(recorder.handle())
+        .run();
+    (metrics, recorder.take())
+}
+
+/// Traced variant of [`execute`]: per-cell bounded recorders, results in
+/// cell order whatever the thread count.
+pub fn execute_traced(
+    protocol: &ScaleProtocol,
+    cells: &[CellSpec],
+) -> Vec<(RunMetrics, pc_trace_events::TraceLog)> {
+    let fleets = fleets(protocol, cells);
+    parallel_map(cells, protocol.threads, |cell| {
+        let fleet = &fleets[&(cell.point.pairs, cell.replicate)];
+        run_cell_traced(protocol, cell, fleet)
+    })
+}
+
 /// Expands the scaling grid for the selected points into the sweep
 /// engine's canonical cell order.
 pub fn cells_for(points: &[&ScalePoint], replicates: usize) -> Vec<CellSpec> {

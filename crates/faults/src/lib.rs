@@ -195,6 +195,12 @@ impl FaultScenario {
             FaultScenario::Chaos => "chaos",
         }
     }
+
+    /// Inverse of [`Self::name`], used by trace replay to re-expand a
+    /// recorded cell's fault plan from its `CellMeta` scenario field.
+    pub fn from_name(name: &str) -> Option<FaultScenario> {
+        FaultScenario::all().into_iter().find(|s| s.name() == name)
+    }
 }
 
 /// FNV-1a over a byte string; used to derive a per-scenario RNG stream

@@ -32,6 +32,7 @@
 pub mod core;
 pub mod engine;
 pub mod event;
+pub mod model;
 pub mod rng;
 pub mod time;
 pub mod timer;

@@ -221,6 +221,77 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Compact human-readable form for diagnostics (replay divergence
+    /// messages): variant name plus the discriminating fields, e.g.
+    /// `Invoke(pair=3, trigger=Overflow, batch=25)`. Not part of the
+    /// canonical serialisation — digests use [`event_to_json`].
+    pub fn summary(&self) -> String {
+        match self {
+            TraceEvent::Produce { pair } => format!("Produce(pair={pair})"),
+            TraceEvent::Invoke {
+                pair,
+                trigger,
+                batch,
+                capacity,
+            } => format!("Invoke(pair={pair}, trigger={trigger:?}, batch={batch}, cap={capacity})"),
+            TraceEvent::Flush { pair, drained } => {
+                format!("Flush(pair={pair}, drained={drained})")
+            }
+            TraceEvent::Wakeup { pair } => format!("Wakeup(pair={pair})"),
+            TraceEvent::CoreSpan {
+                core,
+                start_ns,
+                end_ns,
+                wakeup,
+            } => format!("CoreSpan(core={core}, [{start_ns}, {end_ns}), wakeup={wakeup})"),
+            TraceEvent::SlotSelect {
+                pair, core, slot, ..
+            } => format!("SlotSelect(pair={pair}, core={core}, slot={slot})"),
+            TraceEvent::SlotReserve {
+                core,
+                consumer,
+                slot,
+                prev,
+            } => {
+                format!("SlotReserve(core={core}, consumer={consumer}, slot={slot}, prev={prev:?})")
+            }
+            TraceEvent::SlotRelease {
+                core,
+                consumer,
+                slot,
+            } => format!("SlotRelease(core={core}, consumer={consumer}, slot={slot})"),
+            TraceEvent::SlotDispatch {
+                core,
+                slot,
+                consumers,
+            } => format!("SlotDispatch(core={core}, slot={slot}, consumers={consumers:?})"),
+            TraceEvent::BufferCreate {
+                owner, capacity, ..
+            } => format!("BufferCreate(owner={owner}, capacity={capacity})"),
+            TraceEvent::BufferGrow {
+                owner,
+                from,
+                to,
+                want,
+                ..
+            } => format!("BufferGrow(owner={owner}, {from}->{to}, want={want})"),
+            TraceEvent::BufferShrink {
+                owner, from, to, ..
+            } => format!("BufferShrink(owner={owner}, {from}->{to})"),
+            TraceEvent::BufferDestroy {
+                owner, released, ..
+            } => format!("BufferDestroy(owner={owner}, released={released})"),
+            TraceEvent::FaultInjected {
+                id, kind, param, ..
+            } => format!("FaultInjected(id={id}, kind={kind}, param={param})"),
+            TraceEvent::FaultRecovered {
+                id, kind, param, ..
+            } => format!("FaultRecovered(id={id}, kind={kind}, param={param})"),
+        }
+    }
+}
+
 /// One recorded event: a [`TraceEvent`] stamped with its logical sequence
 /// number and sim time.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -232,6 +303,19 @@ pub struct Event {
     pub t_ns: u64,
     /// The observation itself.
     pub kind: TraceEvent,
+}
+
+impl Event {
+    /// Compact human-readable form: the payload summary stamped with
+    /// sim time and sequence number.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} at t={}ns seq={}",
+            self.kind.summary(),
+            self.t_ns,
+            self.seq
+        )
+    }
 }
 
 /// A finished recording: the bounded event stream plus how much of the

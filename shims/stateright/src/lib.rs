@@ -1,0 +1,400 @@
+//! Offline stand-in for the `stateright` explicit-state model checker.
+//!
+//! Provides the small slice of the real crate's API this workspace
+//! uses: a [`Model`] trait (states, actions, transition function,
+//! properties) and a bounded breadth-first [`Checker`] that explores
+//! the reachable state space deterministically and reports
+//! counterexample paths for violated `always` properties and witness
+//! paths for discovered `sometimes` properties.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * exploration is single-threaded and fully deterministic — states
+//!   are visited in BFS order, successors in the order `actions`
+//!   pushes them, so a violation report is stable across runs and
+//!   platforms (the same determinism contract the rest of the
+//!   workspace lives by);
+//! * the frontier is bounded by `max_depth` and `max_states` instead
+//!   of running to closure by default — the callers here check small
+//!   protocol models where a bounded sweep is the point;
+//! * no `eventually` properties, no symmetry reduction, no UI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A transition system to check: states, enabled actions, a (partial)
+/// transition function, and the properties that must hold.
+pub trait Model: Sized {
+    /// State of the system. `Ord` keeps the visited set deterministic
+    /// (a `BTreeSet`, not a hash set — no iteration-order surprises).
+    type State: Clone + Ord;
+    /// One enabled transition out of a state.
+    type Action: Clone + Debug;
+
+    /// Initial states of the system.
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Pushes every action enabled in `state` onto `actions`, in a
+    /// deterministic order.
+    fn actions(&self, state: &Self::State, actions: &mut Vec<Self::Action>);
+
+    /// Applies `action` to `state`; `None` means the action turned out
+    /// to be disabled (guards may be cheaper to re-check here).
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// The properties the checker evaluates at every reachable state.
+    fn properties(&self) -> Vec<Property<Self>>;
+}
+
+/// What a property claims about the reachable state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The condition holds in every reachable state; one failing state
+    /// is a violation (reported with its path).
+    Always,
+    /// The condition holds in at least one reachable state; never
+    /// finding one within the bound is a violation.
+    Sometimes,
+}
+
+/// A named condition over model states.
+pub struct Property<M: Model> {
+    /// `always` or `sometimes`.
+    pub expectation: Expectation,
+    /// Stable name used in reports and assertions.
+    pub name: &'static str,
+    /// The condition itself.
+    pub condition: fn(&M, &M::State) -> bool,
+}
+
+impl<M: Model> Property<M> {
+    /// An `always` property: `condition` must hold in every reachable
+    /// state.
+    pub fn always(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+        Property {
+            expectation: Expectation::Always,
+            name,
+            condition,
+        }
+    }
+
+    /// A `sometimes` property: some reachable state must satisfy
+    /// `condition`.
+    pub fn sometimes(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+        Property {
+            expectation: Expectation::Sometimes,
+            name,
+            condition,
+        }
+    }
+}
+
+/// One property failure: an `always` property that some reachable
+/// state falsifies, or a `sometimes` property no explored state
+/// satisfied.
+pub struct Violation<M: Model> {
+    /// Name of the violated property.
+    pub property: &'static str,
+    /// Whether the property was `always` or `sometimes`.
+    pub expectation: Expectation,
+    /// For `always` violations: the actions leading from an initial
+    /// state to the failing state, in order. Empty for an initial-state
+    /// violation and for undiscovered `sometimes` properties.
+    pub path: Vec<M::Action>,
+    /// For `always` violations: the failing state itself. `None` for
+    /// undiscovered `sometimes` properties.
+    pub state: Option<M::State>,
+}
+
+impl<M: Model> std::fmt::Debug for Violation<M>
+where
+    M::State: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Violation")
+            .field("property", &self.property)
+            .field("expectation", &self.expectation)
+            .field("path", &self.path)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// Outcome of one bounded BFS sweep.
+pub struct CheckResult<M: Model> {
+    /// Distinct states visited.
+    pub states_explored: usize,
+    /// Deepest BFS layer reached (initial states are depth 0).
+    pub depth_reached: usize,
+    /// Whether the sweep closed the reachable space within its bounds
+    /// (`false` means the frontier was cut by `max_depth` or
+    /// `max_states`, so `sometimes` non-discovery is inconclusive).
+    pub complete: bool,
+    /// Every property failure, in property order.
+    pub violations: Vec<Violation<M>>,
+}
+
+impl<M: Model> CheckResult<M> {
+    /// Whether every property held over the explored space.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violation of `name`, if any.
+    pub fn violation(&self, name: &str) -> Option<&Violation<M>> {
+        self.violations.iter().find(|v| v.property == name)
+    }
+}
+
+/// Bounded breadth-first explicit-state checker.
+pub struct Checker {
+    max_depth: usize,
+    max_states: usize,
+}
+
+impl Checker {
+    /// A checker bounded to `max_depth` BFS layers and `max_states`
+    /// distinct states.
+    pub fn bounded(max_depth: usize, max_states: usize) -> Self {
+        Checker {
+            max_depth,
+            max_states,
+        }
+    }
+
+    /// Explores `model`'s reachable states breadth-first and evaluates
+    /// every property at every visited state. `always` violations stop
+    /// the search for *that property* at the first (shallowest) failing
+    /// state — its action path is reported — while exploration continues
+    /// for the remaining properties.
+    pub fn check<M: Model>(&self, model: &M) -> CheckResult<M> {
+        let properties = model.properties();
+        // Per-property bookkeeping: first always-failure (path + failing
+        // state), any sometimes-witness.
+        type Failure<M> = (Vec<<M as Model>::Action>, <M as Model>::State);
+        let mut always_failed: Vec<Option<Failure<M>>> = properties.iter().map(|_| None).collect();
+        let mut sometimes_found: Vec<bool> = properties.iter().map(|_| false).collect();
+
+        // BFS over distinct states; each queue entry remembers its
+        // parent index and incoming action so violation paths can be
+        // reconstructed without storing a path per state.
+        struct Node<M: Model> {
+            state: M::State,
+            parent: Option<usize>,
+            action: Option<M::Action>,
+            depth: usize,
+        }
+        let mut nodes: Vec<Node<M>> = Vec::new();
+        let mut seen: BTreeSet<M::State> = BTreeSet::new();
+        let mut complete = true;
+        let mut depth_reached = 0;
+
+        for state in model.init_states() {
+            if seen.insert(state.clone()) {
+                if nodes.len() >= self.max_states {
+                    complete = false;
+                    break;
+                }
+                nodes.push(Node {
+                    state,
+                    parent: None,
+                    action: None,
+                    depth: 0,
+                });
+            }
+        }
+
+        let path_to = |nodes: &[Node<M>], mut i: usize| -> Vec<M::Action> {
+            let mut path = Vec::new();
+            while let (Some(a), Some(p)) = (&nodes[i].action, nodes[i].parent) {
+                path.push(a.clone());
+                i = p;
+            }
+            path.reverse();
+            path
+        };
+
+        let mut cursor = 0;
+        let mut scratch: Vec<M::Action> = Vec::new();
+        while cursor < nodes.len() {
+            let depth = nodes[cursor].depth;
+            depth_reached = depth_reached.max(depth);
+
+            for (p, property) in properties.iter().enumerate() {
+                let holds = (property.condition)(model, &nodes[cursor].state);
+                match property.expectation {
+                    Expectation::Always => {
+                        if !holds && always_failed[p].is_none() {
+                            always_failed[p] =
+                                Some((path_to(&nodes, cursor), nodes[cursor].state.clone()));
+                        }
+                    }
+                    Expectation::Sometimes => {
+                        if holds {
+                            sometimes_found[p] = true;
+                        }
+                    }
+                }
+            }
+
+            if depth >= self.max_depth {
+                // Unexpanded frontier: the sweep is bounded, not closed.
+                complete = false;
+                cursor += 1;
+                continue;
+            }
+            scratch.clear();
+            model.actions(&nodes[cursor].state, &mut scratch);
+            for action in &scratch {
+                let Some(next) = model.next_state(&nodes[cursor].state, action) else {
+                    continue;
+                };
+                if !seen.insert(next.clone()) {
+                    continue;
+                }
+                if nodes.len() >= self.max_states {
+                    complete = false;
+                    break;
+                }
+                nodes.push(Node {
+                    state: next,
+                    parent: Some(cursor),
+                    action: Some(action.clone()),
+                    depth: depth + 1,
+                });
+            }
+            cursor += 1;
+        }
+
+        let mut violations = Vec::new();
+        for (p, property) in properties.iter().enumerate() {
+            match property.expectation {
+                Expectation::Always => {
+                    if let Some((path, state)) = always_failed[p].take() {
+                        violations.push(Violation {
+                            property: property.name,
+                            expectation: Expectation::Always,
+                            path,
+                            state: Some(state),
+                        });
+                    }
+                }
+                Expectation::Sometimes => {
+                    if !sometimes_found[p] {
+                        violations.push(Violation {
+                            property: property.name,
+                            expectation: Expectation::Sometimes,
+                            path: Vec::new(),
+                            state: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        CheckResult {
+            states_explored: nodes.len(),
+            depth_reached,
+            complete,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that increments up to `cap`; optionally with a "bug"
+    /// that lets it jump past the cap.
+    struct Counter {
+        cap: u32,
+        buggy: bool,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Inc,
+        Jump,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+        type Action = Op;
+
+        fn init_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u32, actions: &mut Vec<Op>) {
+            if *state < self.cap {
+                actions.push(Op::Inc);
+            }
+            if self.buggy {
+                actions.push(Op::Jump);
+            }
+        }
+
+        fn next_state(&self, state: &u32, action: &Op) -> Option<u32> {
+            match action {
+                Op::Inc => Some(state + 1),
+                Op::Jump => Some(state + 10),
+            }
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            vec![
+                Property::always("bounded", |m, s| *s <= m.cap),
+                Property::sometimes("reaches cap", |m, s| *s == m.cap),
+            ]
+        }
+    }
+
+    #[test]
+    fn clean_model_passes_and_discovers() {
+        let result = Checker::bounded(10, 1000).check(&Counter {
+            cap: 3,
+            buggy: false,
+        });
+        assert!(result.is_clean(), "unexpected violations");
+        assert!(result.complete);
+        assert_eq!(result.states_explored, 4);
+        assert_eq!(result.depth_reached, 3);
+    }
+
+    #[test]
+    fn buggy_model_yields_shortest_counterexample() {
+        let result = Checker::bounded(10, 1000).check(&Counter {
+            cap: 3,
+            buggy: true,
+        });
+        let v = result.violation("bounded").expect("violation found");
+        assert_eq!(v.expectation, Expectation::Always);
+        // One Jump from the initial state is the shallowest failure.
+        assert_eq!(v.path.len(), 1);
+        assert_eq!(v.state, Some(10));
+    }
+
+    #[test]
+    fn undiscovered_sometimes_is_reported() {
+        let result = Checker::bounded(1, 1000).check(&Counter {
+            cap: 3,
+            buggy: false,
+        });
+        assert!(!result.complete, "depth bound cut the frontier");
+        assert!(result.violation("reaches cap").is_some());
+    }
+
+    #[test]
+    fn state_bound_marks_incomplete() {
+        let result = Checker::bounded(100, 2).check(&Counter {
+            cap: 50,
+            buggy: false,
+        });
+        assert!(!result.complete);
+        assert_eq!(result.states_explored, 2);
+    }
+}
