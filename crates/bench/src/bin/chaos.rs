@@ -29,11 +29,12 @@
 
 use pc_bench::chaos::{
     chaos_cell_report, chaos_cells, chaos_oracle, chaos_point, chaos_strategies,
-    chaos_strategy_label, execute_chaos, ChaosCellReport, ChaosCellSpec,
+    chaos_strategy_label, execute_chaos_costed, ChaosCellReport, ChaosCellSpec,
 };
 use pc_bench::exp::{save_json, Protocol};
 use pc_bench::oracle::{self, CellMeta, TraceLine};
 use pc_bench::replay;
+use pc_bench::sweep::CellTiming;
 use serde::Serialize;
 use std::io::Write;
 use std::time::Instant;
@@ -54,10 +55,21 @@ struct ChaosReport {
 
 #[derive(Serialize)]
 struct ChaosTiming {
+    /// v2: added `filters`, `utilization` / `worker_busy_ms` /
+    /// `cell_timings` (scheduler counters).
     schema_version: u32,
     threads: usize,
     cells: usize,
+    /// Active `--filter` values (empty = full sweep), so a checked-in
+    /// sidecar can never masquerade as a full run.
+    filters: Vec<String>,
     total_wall_ms: u64,
+    /// Worker busy share over the sweep's dispatch interval.
+    utilization: f64,
+    /// Per-worker busy milliseconds.
+    worker_busy_ms: Vec<u64>,
+    /// Per-cell wall time + deterministic scheduler counters.
+    cell_timings: Vec<CellTiming>,
 }
 
 struct Options {
@@ -184,7 +196,7 @@ fn main() {
     };
 
     let started = Instant::now();
-    let results = execute_chaos(&protocol, &cells, protocol.threads);
+    let (results, dispatch) = execute_chaos_costed(&protocol, &cells, protocol.threads);
     let total_wall_ms = started.elapsed().as_millis() as u64;
 
     let mut oracle_failures: Vec<String> = Vec::new();
@@ -258,10 +270,23 @@ fn main() {
     save_json(
         "BENCH_chaos",
         &ChaosTiming {
-            schema_version: 1,
+            schema_version: 2,
             threads: protocol.threads,
             cells: cells.len(),
+            filters: options.filters.clone(),
             total_wall_ms,
+            utilization: dispatch.utilization(total_wall_ms),
+            worker_busy_ms: dispatch.worker_busy_ms.clone(),
+            cell_timings: cells
+                .iter()
+                .zip(&results)
+                .zip(&dispatch.cell_wall_ms)
+                .map(|((cell, (metrics, _)), &cell_wall)| CellTiming {
+                    cell: cell_label(cell, protocol.base_seed + cell.replicate as u64),
+                    wall_ms: cell_wall,
+                    scheduler: metrics.scheduler,
+                })
+                .collect(),
         },
     );
     if let Some((path, mut out)) = trace_out {

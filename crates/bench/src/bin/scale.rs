@@ -33,8 +33,9 @@ use pc_bench::exp::{print_header, print_row, save_json, Row};
 use pc_bench::oracle::{self, CellMeta, TraceLine};
 use pc_bench::replay;
 use pc_bench::scale::{
-    cell_report, cells_for, execute, execute_traced, scale_points, ScaleProtocol,
+    cell_report, cells_for, execute_costed, execute_traced_costed, scale_points, ScaleProtocol,
 };
+use pc_bench::sweep::CellTiming;
 use serde::Serialize;
 use std::io::Write;
 use std::time::Instant;
@@ -56,13 +57,24 @@ struct PointTiming {
     name: String,
     cells: usize,
     wall_ms: u64,
+    /// Worker busy share over this point's dispatch interval.
+    utilization: f64,
+    /// Per-worker busy milliseconds for this point's dispatch.
+    worker_busy_ms: Vec<u64>,
+    /// Per-cell wall time + deterministic scheduler counters.
+    cell_timings: Vec<CellTiming>,
 }
 
 #[derive(Serialize)]
 struct ScaleTiming {
+    /// v2: added `filters`, per-point `utilization` / `worker_busy_ms`
+    /// / `cell_timings` (scheduler counters).
     schema_version: u32,
     threads: usize,
     shards: usize,
+    /// Active `--filter` values (empty = all three points), so a
+    /// checked-in sidecar can never masquerade as a full run.
+    filters: Vec<String>,
     total_wall_ms: u64,
     points: Vec<PointTiming>,
 }
@@ -207,17 +219,18 @@ fn main() {
     for p in &selected {
         let cells = cells_for(&[p], protocol.replicates);
         let started = Instant::now();
-        let (runs, logs) = if options.trace {
-            let traced = execute_traced(&protocol, &cells);
+        let (runs, logs, dispatch) = if options.trace {
+            let (traced, dispatch) = execute_traced_costed(&protocol, &cells);
             let mut runs = Vec::with_capacity(traced.len());
             let mut logs = Vec::with_capacity(traced.len());
             for (m, log) in traced {
                 runs.push(m);
                 logs.push(log);
             }
-            (runs, logs)
+            (runs, logs, dispatch)
         } else {
-            (execute(&protocol, &cells), Vec::new())
+            let (runs, dispatch) = execute_costed(&protocol, &cells);
+            (runs, Vec::new(), dispatch)
         };
         let wall_ms = started.elapsed().as_millis() as u64;
 
@@ -271,6 +284,23 @@ fn main() {
             name: p.name.to_string(),
             cells: cells.len(),
             wall_ms,
+            utilization: dispatch.utilization(wall_ms),
+            worker_busy_ms: dispatch.worker_busy_ms.clone(),
+            cell_timings: cells
+                .iter()
+                .zip(&runs)
+                .zip(&dispatch.cell_wall_ms)
+                .map(|((cell, m), &cell_wall)| CellTiming {
+                    cell: format!(
+                        "{} {} seed={}",
+                        p.name,
+                        cell.strategy.name(),
+                        protocol.base_seed + cell.replicate as u64
+                    ),
+                    wall_ms: cell_wall,
+                    scheduler: m.scheduler,
+                })
+                .collect(),
         });
     }
 
@@ -291,9 +321,10 @@ fn main() {
     save_json(
         "BENCH_scale",
         &ScaleTiming {
-            schema_version: 1,
+            schema_version: 2,
             threads: protocol.threads,
             shards: protocol.shards,
+            filters: options.filters.clone(),
             total_wall_ms,
             points: timings,
         },

@@ -35,7 +35,9 @@ use pc_bench::exp::{
 };
 use pc_bench::oracle::{self, CellMeta, TraceLine};
 use pc_bench::replay;
-use pc_bench::sweep::{execute, execute_traced, CellSpec, GridPoint, SweepSpec};
+use pc_bench::sweep::{
+    execute_costed, execute_traced_costed, CellSpec, CellTiming, GridPoint, SweepSpec,
+};
 use pc_core::{PbplConfig, StrategyKind};
 use pc_sim::SimDuration;
 use serde::Serialize;
@@ -199,12 +201,24 @@ struct ExperimentTiming {
     name: String,
     cells: usize,
     wall_ms: u64,
+    /// Worker busy share over this experiment's dispatch interval
+    /// (Σ busy / (threads × wall); 1.0 = no idle worker).
+    utilization: f64,
+    /// Per-worker busy milliseconds for this experiment's dispatch.
+    worker_busy_ms: Vec<u64>,
+    /// Per-cell wall time + deterministic scheduler counters.
+    cell_timings: Vec<CellTiming>,
 }
 
 #[derive(Serialize)]
 struct SuiteTiming {
+    /// v2: added `filters`, per-experiment `utilization` /
+    /// `worker_busy_ms` / `cell_timings` (scheduler counters).
     schema_version: u32,
     threads: usize,
+    /// Active `--filter` values (empty = full suite), so a checked-in
+    /// sidecar can never masquerade as a full run.
+    filters: Vec<String>,
     total_wall_ms: u64,
     experiments: Vec<ExperimentTiming>,
 }
@@ -331,17 +345,18 @@ fn main() {
     for def in &selected {
         let cells = def.spec.cells(protocol.replicates);
         let started = Instant::now();
-        let (runs, logs) = if options.trace {
-            let traced = execute_traced(&protocol, &cells, protocol.threads);
+        let (runs, logs, dispatch) = if options.trace {
+            let (traced, dispatch) = execute_traced_costed(&protocol, &cells, protocol.threads);
             let mut runs = Vec::with_capacity(traced.len());
             let mut logs = Vec::with_capacity(traced.len());
             for (m, log) in traced {
                 runs.push(m);
                 logs.push(log);
             }
-            (runs, logs)
+            (runs, logs, dispatch)
         } else {
-            (execute(&protocol, &cells, protocol.threads), Vec::new())
+            let (runs, dispatch) = execute_costed(&protocol, &cells, protocol.threads);
+            (runs, Vec::new(), dispatch)
         };
         let wall_ms = started.elapsed().as_millis() as u64;
 
@@ -411,6 +426,24 @@ fn main() {
             name: def.name.to_string(),
             cells: cells.len(),
             wall_ms,
+            utilization: dispatch.utilization(wall_ms),
+            worker_busy_ms: dispatch.worker_busy_ms.clone(),
+            cell_timings: cells
+                .iter()
+                .zip(&runs)
+                .zip(&dispatch.cell_wall_ms)
+                .map(|((cell, m), &cell_wall)| CellTiming {
+                    cell: format!(
+                        "{} M={} B={} seed={}",
+                        strategy_label(&cell.strategy),
+                        cell.point.pairs,
+                        cell.point.buffer,
+                        protocol.base_seed + cell.replicate as u64
+                    ),
+                    wall_ms: cell_wall,
+                    scheduler: m.scheduler,
+                })
+                .collect(),
         });
     }
 
@@ -428,8 +461,9 @@ fn main() {
     save_json(
         "BENCH_suite",
         &SuiteTiming {
-            schema_version: 1,
+            schema_version: 2,
             threads: protocol.threads,
+            filters: options.filters.clone(),
             total_wall_ms,
             experiments: timings,
         },

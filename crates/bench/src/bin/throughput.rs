@@ -77,8 +77,13 @@ struct Cell {
 
 #[derive(Serialize)]
 struct Report {
+    /// v2: added `filters` (active `--filter`, empty = full sweep) —
+    /// a checked-in sidecar can never masquerade as a full run. The
+    /// `--items`/`PC_TP_ITEMS` knob was already stamped via
+    /// `items_per_pair`.
     schema_version: u32,
     items_per_pair: u64,
+    filters: Vec<String>,
     note: &'static str,
     cells: Vec<Cell>,
 }
@@ -537,8 +542,13 @@ fn main() {
     pc_bench::exp::save_json(
         "BENCH_throughput",
         &Report {
-            schema_version: 1,
+            schema_version: 2,
             items_per_pair: items,
+            filters: if filter.is_empty() {
+                Vec::new()
+            } else {
+                vec![filter]
+            },
             note: "wall-clock timings; host-dependent by design, outside the determinism gate",
             cells,
         },

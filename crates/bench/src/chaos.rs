@@ -11,7 +11,7 @@
 
 use crate::exp::Protocol;
 use crate::oracle::{self, OracleReport};
-use crate::sweep::{parallel_map, trace_capacity_from_env, GridPoint};
+use crate::sweep::{parallel_map_costed, trace_capacity_from_env, DispatchStats, GridPoint};
 use pc_core::{Experiment, RunMetrics, StrategyKind};
 use pc_faults::{ExpandEnv, FaultPlan, FaultScenario};
 use pc_trace_events::{Recorder, TraceEvent, TraceLog, Trigger};
@@ -125,7 +125,22 @@ pub fn execute_chaos(
     cells: &[ChaosCellSpec],
     threads: usize,
 ) -> Vec<(RunMetrics, TraceLog)> {
-    parallel_map(cells, threads, |cell| run_chaos_cell(protocol, cell))
+    execute_chaos_costed(protocol, cells, threads).0
+}
+
+/// [`execute_chaos`] with dispatch telemetry. Every chaos cell runs the
+/// same geometry (M = 5, B₀ = 25), so costs are uniform and the claim
+/// order stays canonical — this variant exists for the per-cell timings
+/// and worker-utilization numbers in `BENCH_chaos.json`.
+pub fn execute_chaos_costed(
+    protocol: &Protocol,
+    cells: &[ChaosCellSpec],
+    threads: usize,
+) -> (Vec<(RunMetrics, TraceLog)>, DispatchStats) {
+    let costs = vec![0u64; cells.len()];
+    parallel_map_costed(cells, threads, &costs, |cell| {
+        run_chaos_cell(protocol, cell)
+    })
 }
 
 /// Recovery metrics of one chaos cell, re-derived from its event trace.

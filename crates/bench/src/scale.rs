@@ -13,7 +13,9 @@
 //! Timings (which *do* depend on threads and shards) go to
 //! `results/BENCH_scale.json` only.
 
-use crate::sweep::{parallel_map, CellSpec, GridPoint, SweepSpec};
+use crate::sweep::{
+    cell_cost, parallel_map, parallel_map_costed, CellSpec, DispatchStats, GridPoint, SweepSpec,
+};
 use pc_core::{Experiment, RunMetrics, StrategyKind};
 use pc_sim::SimDuration;
 use pc_trace::{PlanetConfig, Trace};
@@ -155,7 +157,7 @@ pub fn run_cell(protocol: &ScaleProtocol, cell: &CellSpec, fleet: &Arc<Vec<Trace
         .cores(cell.point.cores)
         .duration(protocol.duration)
         .strategy(cell.strategy.clone())
-        .traces(fleet.as_ref().clone())
+        .shared_traces(Arc::clone(fleet))
         .seed(protocol.base_seed + cell.replicate as u64)
         .buffer_capacity(cell.point.buffer)
         .shards(protocol.shards)
@@ -177,7 +179,7 @@ pub fn run_cell_traced(
         .cores(cell.point.cores)
         .duration(protocol.duration)
         .strategy(cell.strategy.clone())
-        .traces(fleet.as_ref().clone())
+        .shared_traces(Arc::clone(fleet))
         .seed(protocol.base_seed + cell.replicate as u64)
         .buffer_capacity(cell.point.buffer)
         .shards(protocol.shards)
@@ -192,8 +194,22 @@ pub fn execute_traced(
     protocol: &ScaleProtocol,
     cells: &[CellSpec],
 ) -> Vec<(RunMetrics, pc_trace_events::TraceLog)> {
+    execute_traced_costed(protocol, cells).0
+}
+
+/// [`execute_traced`] with cost-aware (LPT) dispatch: the m1000 cells
+/// are claimed first so they never straggle behind a queue of cheap
+/// cells. Results are byte-identical; the stats are sidecar-only.
+pub fn execute_traced_costed(
+    protocol: &ScaleProtocol,
+    cells: &[CellSpec],
+) -> (Vec<(RunMetrics, pc_trace_events::TraceLog)>, DispatchStats) {
     let fleets = fleets(protocol, cells);
-    parallel_map(cells, protocol.threads, |cell| {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|cell| cell_cost(cell, protocol.duration))
+        .collect();
+    parallel_map_costed(cells, protocol.threads, &costs, |cell| {
         let fleet = &fleets[&(cell.point.pairs, cell.replicate)];
         run_cell_traced(protocol, cell, fleet)
     })
@@ -212,8 +228,20 @@ pub fn cells_for(points: &[&ScalePoint], replicates: usize) -> Vec<CellSpec> {
 /// Runs `cells` on the engine with shared pre-generated fleets; results
 /// in cell order regardless of thread count.
 pub fn execute(protocol: &ScaleProtocol, cells: &[CellSpec]) -> Vec<RunMetrics> {
+    execute_costed(protocol, cells).0
+}
+
+/// [`execute`] with cost-aware (LPT) dispatch and timing telemetry.
+pub fn execute_costed(
+    protocol: &ScaleProtocol,
+    cells: &[CellSpec],
+) -> (Vec<RunMetrics>, DispatchStats) {
     let fleets = fleets(protocol, cells);
-    parallel_map(cells, protocol.threads, |cell| {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|cell| cell_cost(cell, protocol.duration))
+        .collect();
+    parallel_map_costed(cells, protocol.threads, &costs, |cell| {
         let fleet = &fleets[&(cell.point.pairs, cell.replicate)];
         run_cell(protocol, cell, fleet)
     })

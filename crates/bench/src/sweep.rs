@@ -25,6 +25,7 @@ use pc_trace_events::{Recorder, TraceLog, DEFAULT_RECORDER_CAPACITY};
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One (pairs, cores, buffer) grid point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -108,32 +109,158 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(f).collect();
+    let costs = vec![0u64; items.len()];
+    parallel_map_costed(items, threads, &costs, f).0
+}
+
+/// Host-dependent telemetry from one [`parallel_map_costed`] dispatch.
+/// Strictly `BENCH_*.json` sidecar material — wall-clock lives here and
+/// must never reach a deterministic results file.
+#[derive(Debug, Clone, Serialize)]
+pub struct DispatchStats {
+    /// Worker threads actually used (after clamping to the item count).
+    pub threads: usize,
+    /// Per-worker busy time (summed cell runtimes), milliseconds.
+    pub worker_busy_ms: Vec<u64>,
+    /// Per-item wall time in *input* order, milliseconds.
+    pub cell_wall_ms: Vec<u64>,
+}
+
+impl DispatchStats {
+    /// Share of the dispatch interval the workers spent busy:
+    /// Σ busy / (threads × wall). 1.0 means no worker ever idled; a low
+    /// value on a multi-thread run means stragglers serialised the tail.
+    pub fn utilization(&self, wall_ms: u64) -> f64 {
+        if wall_ms == 0 || self.threads == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ms.iter().sum();
+        busy as f64 / (wall_ms as f64 * self.threads as f64)
     }
+}
+
+/// [`parallel_map`] with cost-aware dispatch: items are claimed in
+/// descending `costs[i]` order (LPT — longest processing time first), so
+/// an expensive cell starts immediately instead of being picked up last
+/// and straggling the whole dispatch. Ties keep input order; results are
+/// still written to input-index slots, so the output vector — and every
+/// deterministic artifact downstream of it — is byte-identical to the
+/// unweighted dispatch for any thread count. Cost estimates only shape
+/// the *claim order* (and therefore wall-clock), never results.
+pub fn parallel_map_costed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    costs: &[u64],
+    f: F,
+) -> (Vec<R>, DispatchStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert_eq!(items.len(), costs.len(), "one cost estimate per item");
+    let threads = threads.clamp(1, items.len().max(1));
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+
+    if threads == 1 {
+        let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        let mut cell_wall_ms = vec![0u64; items.len()];
+        let mut busy_ns = 0u64;
+        for &i in &order {
+            let t0 = Instant::now();
+            results[i] = Some(f(&items[i]));
+            let elapsed = t0.elapsed();
+            busy_ns += elapsed.as_nanos() as u64;
+            cell_wall_ms[i] = elapsed.as_millis() as u64;
+        }
+        let stats = DispatchStats {
+            threads: 1,
+            worker_busy_ms: vec![busy_ns / 1_000_000],
+            cell_wall_ms,
+        };
+        return (
+            results
+                .into_iter()
+                .map(|r| r.expect("serial loop filled every slot"))
+                .collect(),
+            stats,
+        );
+    }
+
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(R, u64)>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let mut worker_busy_ms = vec![0u64; threads];
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut busy_ns = 0u64;
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= order.len() {
+                            break busy_ns;
+                        }
+                        let i = order[k];
+                        let t0 = Instant::now();
+                        let result = f(&items[i]);
+                        let elapsed = t0.elapsed();
+                        busy_ns += elapsed.as_nanos() as u64;
+                        *slots[i].lock().expect("result slot poisoned") =
+                            Some((result, elapsed.as_millis() as u64));
+                    }
+                })
+            })
+            .collect();
+        for (w, handle) in workers.into_iter().enumerate() {
+            worker_busy_ms[w] = handle.join().expect("worker panicked") / 1_000_000;
         }
     });
-    slots
+    let mut cell_wall_ms = vec![0u64; items.len()];
+    let results = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
+        .enumerate()
+        .map(|(i, slot)| {
+            let (result, wall) = slot
+                .into_inner()
                 .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
+                .expect("worker filled every claimed slot");
+            cell_wall_ms[i] = wall;
+            result
         })
-        .collect()
+        .collect();
+    (
+        results,
+        DispatchStats {
+            threads,
+            worker_busy_ms,
+            cell_wall_ms,
+        },
+    )
+}
+
+/// One cell's `BENCH_*` sidecar row: host wall time plus the
+/// *deterministic* scheduler operation counters from the run (the
+/// counters are a pure function of `(seed, config)`; only `wall_ms` is
+/// host-dependent). `compactions` staying 0 across every cell is the
+/// recorded proof that the timer wheel retired the old heap's
+/// tombstone-compaction path.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellTiming {
+    /// Cell label (strategy, geometry, seed).
+    pub cell: String,
+    /// Host wall time of this cell, milliseconds.
+    pub wall_ms: u64,
+    /// Event-scheduler operation counters (DESIGN.md §13).
+    pub scheduler: pc_sim::QueueStats,
+}
+
+/// Relative cost estimate of one sweep cell: simulated duration × M.
+/// Event volume scales with both, so this ranks an m1000 cell far above
+/// an m10 cell and equal-M cells equally — exactly the granularity the
+/// LPT dispatch needs.
+pub fn cell_cost(cell: &CellSpec, duration: pc_sim::SimDuration) -> u64 {
+    duration.as_nanos().saturating_mul(cell.point.pairs as u64)
 }
 
 /// Runs one cell: a pure function of the protocol and the cell spec.
@@ -151,7 +278,22 @@ pub fn run_cell(protocol: &Protocol, cell: &CellSpec) -> RunMetrics {
 
 /// Runs `cells` on `threads` workers; results in cell order.
 pub fn execute(protocol: &Protocol, cells: &[CellSpec], threads: usize) -> Vec<RunMetrics> {
-    parallel_map(cells, threads, |cell| run_cell(protocol, cell))
+    execute_costed(protocol, cells, threads).0
+}
+
+/// [`execute`] with cost-aware (LPT) dispatch and timing telemetry.
+/// Results are byte-identical to [`execute`]'s; the [`DispatchStats`]
+/// are sidecar-only.
+pub fn execute_costed(
+    protocol: &Protocol,
+    cells: &[CellSpec],
+    threads: usize,
+) -> (Vec<RunMetrics>, DispatchStats) {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|cell| cell_cost(cell, protocol.duration))
+        .collect();
+    parallel_map_costed(cells, threads, &costs, |cell| run_cell(protocol, cell))
 }
 
 /// Per-cell recorder bound for traced runs: `PC_TRACE_CAP` if set to a
@@ -191,7 +333,23 @@ pub fn execute_traced(
     cells: &[CellSpec],
     threads: usize,
 ) -> Vec<(RunMetrics, TraceLog)> {
-    parallel_map(cells, threads, |cell| run_cell_traced(protocol, cell))
+    execute_traced_costed(protocol, cells, threads).0
+}
+
+/// [`execute_traced`] with cost-aware (LPT) dispatch and timing
+/// telemetry.
+pub fn execute_traced_costed(
+    protocol: &Protocol,
+    cells: &[CellSpec],
+    threads: usize,
+) -> (Vec<(RunMetrics, TraceLog)>, DispatchStats) {
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|cell| cell_cost(cell, protocol.duration))
+        .collect();
+    parallel_map_costed(cells, threads, &costs, |cell| {
+        run_cell_traced(protocol, cell)
+    })
 }
 
 /// Runs a whole spec and regroups the flat cell results back into

@@ -174,6 +174,11 @@ pub struct RunMetrics {
     /// wakeups — one fire may serve a whole latch group). Zero for other
     /// strategies.
     pub slot_fires: u64,
+    /// Deterministic event-scheduler operation counters (DESIGN.md §13).
+    /// A pure function of `(seed, config)` like every other field here;
+    /// exported to the `BENCH_*` sidecars so performance PRs can show
+    /// op-count changes alongside host-dependent timings.
+    pub scheduler: pc_sim::QueueStats,
 }
 
 impl RunMetrics {

@@ -68,9 +68,29 @@ impl From<Trigger> for TraceTrigger {
     }
 }
 
+/// Per-pair production timestamps. `Owned` when the run had to
+/// materialise them (generated workloads, truncation, workload faults);
+/// `Shared` is a zero-copy view into a fleet shared across sweep cells
+/// (`pair` indexes the fleet), with the run horizon enforced at the
+/// consumption site instead of by physical truncation.
+enum PairTimes {
+    Owned(Vec<SimTime>),
+    Shared(Arc<Vec<Trace>>, usize),
+}
+
+impl PairTimes {
+    #[inline]
+    fn get(&self, idx: usize) -> Option<SimTime> {
+        match self {
+            PairTimes::Owned(v) => v.get(idx).copied(),
+            PairTimes::Shared(fleet, pair) => fleet[*pair].times().get(idx).copied(),
+        }
+    }
+}
+
 struct PairState {
     core: usize,
-    times: Vec<SimTime>,
+    times: PairTimes,
     next_idx: usize,
     metrics: PairMetrics,
     /// Consumer-side busy horizon (item-driven strategies).
@@ -355,8 +375,13 @@ impl Sim {
 
     fn schedule_next_produce(&mut self, i: usize) {
         let pair = &self.pairs[i];
-        if let Some(&t) = pair.times.get(pair.next_idx) {
-            self.engine.schedule_at(t, Ev::Produce { pair: i });
+        if let Some(t) = pair.times.get(pair.next_idx) {
+            // Owned times are truncated to the horizon at build time; the
+            // guard makes shared (untruncated) fleet views behave
+            // identically.
+            if t < self.end {
+                self.engine.schedule_at(t, Ev::Produce { pair: i });
+            }
         }
     }
 
@@ -919,7 +944,10 @@ impl Sim {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Produce { pair } => {
-                let t = self.pairs[pair].times[self.pairs[pair].next_idx];
+                let t = self.pairs[pair]
+                    .times
+                    .get(self.pairs[pair].next_idx)
+                    .expect("a Produce event implies a pending trace item");
                 self.pairs[pair].next_idx += 1;
                 self.pairs[pair].metrics.items_produced += 1;
                 self.trace
@@ -1070,6 +1098,7 @@ impl Sim {
         let meter = Meter::aggregate(&reports);
         let items_consumed = self.pairs.iter().map(|p| p.metrics.items_consumed).sum();
         let items_produced = self.pairs.iter().map(|p| p.metrics.items_produced).sum();
+        let scheduler = self.engine.queue_stats();
         RunMetrics {
             strategy: self.strategy.name().to_string(),
             duration: end.saturating_since(SimTime::ZERO),
@@ -1080,6 +1109,7 @@ impl Sim {
             items_consumed,
             items_produced,
             slot_fires,
+            scheduler,
         }
     }
 
@@ -1105,6 +1135,23 @@ impl Experiment {
     }
 }
 
+/// Explicit traces handed to the builder: owned, or a fleet shared with
+/// other concurrent runs (sweep cells differing only in strategy).
+#[derive(Debug, Clone)]
+enum ExplicitTraces {
+    Owned(Vec<Trace>),
+    Shared(Arc<Vec<Trace>>),
+}
+
+impl ExplicitTraces {
+    fn as_slice(&self) -> &[Trace] {
+        match self {
+            ExplicitTraces::Owned(ts) => ts,
+            ExplicitTraces::Shared(ts) => ts,
+        }
+    }
+}
+
 /// Builder for a single simulation run.
 #[derive(Debug, Clone)]
 pub struct ExperimentBuilder {
@@ -1113,7 +1160,7 @@ pub struct ExperimentBuilder {
     duration: SimDuration,
     strategy: StrategyKind,
     trace_cfg: WorldCupConfig,
-    explicit_traces: Option<Vec<Trace>>,
+    explicit_traces: Option<ExplicitTraces>,
     seed: u64,
     power: PowerModel,
     buffer_capacity: usize,
@@ -1183,7 +1230,17 @@ impl ExperimentBuilder {
     /// Explicit per-pair traces (overrides the generator). Must supply
     /// exactly one trace per pair at run time.
     pub fn traces(mut self, traces: Vec<Trace>) -> Self {
-        self.explicit_traces = Some(traces);
+        self.explicit_traces = Some(ExplicitTraces::Owned(traces));
+        self
+    }
+
+    /// Explicit per-pair traces shared with other runs (overrides the
+    /// generator). Bit-identical to [`ExperimentBuilder::traces`] on the
+    /// same data, but zero-copy: sweep cells that differ only in strategy
+    /// read one fleet instead of cloning it per cell — at M = 1000 the
+    /// clone is tens of megabytes per cell (DESIGN.md §13).
+    pub fn shared_traces(mut self, traces: Arc<Vec<Trace>>) -> Self {
+        self.explicit_traces = Some(ExplicitTraces::Shared(traces));
         self
     }
 
@@ -1262,10 +1319,32 @@ impl ExperimentBuilder {
     /// Runs the experiment and returns its metrics.
     pub fn run(self) -> RunMetrics {
         let end = SimTime::ZERO + self.duration;
-        let traces: Vec<Trace> = match &self.explicit_traces {
-            Some(ts) => {
+        // Fault-free shared fleets are consumed zero-copy: the horizon
+        // guard in `schedule_next_produce` substitutes for physical
+        // truncation, so nothing needs materialising. Every other source
+        // — owned traces, generated workloads, or any run with workload
+        // faults to rewrite — builds owned, truncated timestamp vectors
+        // exactly as before.
+        let times_by_pair: Vec<PairTimes> = match &self.explicit_traces {
+            Some(ExplicitTraces::Shared(fleet)) if self.faults.is_empty() => {
+                assert_eq!(fleet.len(), self.pairs, "one trace per pair");
+                (0..self.pairs)
+                    .map(|i| PairTimes::Shared(Arc::clone(fleet), i))
+                    .collect()
+            }
+            Some(src) => {
+                let ts = src.as_slice();
                 assert_eq!(ts.len(), self.pairs, "one trace per pair");
-                ts.iter().map(|t| t.truncate(end)).collect()
+                ts.iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let mut times = t.truncate(end).into_times();
+                        if !self.faults.is_empty() {
+                            self.faults.apply_workload_faults(i as u32, &mut times, end);
+                        }
+                        PairTimes::Owned(times)
+                    })
+                    .collect()
             }
             None => {
                 let mut cfg = self.trace_cfg.clone();
@@ -1274,7 +1353,13 @@ impl ExperimentBuilder {
                 // §VI-A: "each consumer is shifted one Mth further into
                 // the dataset".
                 (0..self.pairs)
-                    .map(|i| base.phase_shift(i as f64 / self.pairs as f64))
+                    .map(|i| {
+                        let mut times = base.phase_shift(i as f64 / self.pairs as f64).into_times();
+                        if !self.faults.is_empty() {
+                            self.faults.apply_workload_faults(i as u32, &mut times, end);
+                        }
+                        PairTimes::Owned(times)
+                    })
                     .collect()
             }
         };
@@ -1306,10 +1391,10 @@ impl ExperimentBuilder {
             _ => None,
         };
 
-        let pairs: Vec<PairState> = traces
+        let pairs: Vec<PairState> = times_by_pair
             .into_iter()
             .enumerate()
-            .map(|(i, trace)| {
+            .map(|(i, times)| {
                 let buffer = pool.as_ref().map(|p| {
                     let min_cap = match &pbpl_cfg {
                         Some(cfg) => ((self.buffer_capacity as f64 * cfg.min_capacity_frac).ceil()
@@ -1333,10 +1418,6 @@ impl ExperimentBuilder {
                     (None, Some(cfg)) => cfg.max_latency,
                     (None, None) => SimDuration::MAX,
                 };
-                let mut times = trace.into_times();
-                if !self.faults.is_empty() {
-                    self.faults.apply_workload_faults(i as u32, &mut times, end);
-                }
                 PairState {
                     max_latency,
                     core: i % self.cores,

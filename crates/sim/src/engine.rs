@@ -28,7 +28,7 @@
 //! Keeping state outside the engine sidesteps the usual borrow tangle of
 //! callback-based designs and makes system models plain, testable structs.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventId, EventQueue, QueueStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use pc_trace_events::TraceHandle;
@@ -123,6 +123,12 @@ impl<E> Engine<E> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Deterministic scheduler operation counters (see
+    /// [`QueueStats`]) accumulated since the engine was created.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Advances the clock to `t` without processing events. Intended for

@@ -39,7 +39,7 @@ pub mod timer;
 
 pub use crate::core::{Core, CoreId, CoreState, StateInterval};
 pub use crate::engine::Engine;
-pub use crate::event::{EventId, EventQueue};
+pub use crate::event::{EventId, EventQueue, QueueStats};
 pub use crate::rng::SimRng;
 pub use crate::time::{SimDuration, SimTime};
 pub use crate::timer::TimerModel;
