@@ -14,11 +14,19 @@
 //!   rest: the slot-reservation pattern (PBPL latch cancels) that drove
 //!   the heap's tombstone compaction.
 //!
+//! A third scenario races the *arrival* path specifically (DESIGN.md
+//! §14): M pre-sorted per-source streams merged to exhaustion, with
+//! each popped arrival immediately replaced by its source's next — the
+//! exact access pattern of `System::schedule_next_produce`. `wheel_` is
+//! the retired route (every arrival a wheel event); `calendar_` is the
+//! `ArrivalCalendar` tournament-tree merge the engine now uses, at
+//! M ∈ {10, 100, 1000} matching the scale sweep's fleet sizes.
+//!
 //! The heap model mirrors `crates/sim/tests/wheel_model.rs` — the
 //! retired implementation reduced to its semantics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pc_sim::{EventQueue, SimTime};
+use pc_sim::{ArrivalCalendar, EventQueue, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -173,5 +181,78 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue);
+/// Arrivals consumed per source in the merge scenario; total items per
+/// iteration are `M × ARRIVALS_PER_SOURCE`.
+const ARRIVALS_PER_SOURCE: u64 = 100;
+
+fn bench_arrival_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_merge");
+    group.sample_size(10);
+    for &sources in &[10usize, 100, 1000] {
+        let total = sources as u64 * ARRIVALS_PER_SOURCE;
+        group.throughput(Throughput::Elements(total));
+        // Per-source cursors over deterministic sorted streams: popping
+        // an arrival arms that source's next, like the sim's produce
+        // path does.
+        group.bench_with_input(
+            BenchmarkId::new("wheel_merge", sources),
+            &sources,
+            |b, &m| {
+                b.iter(|| {
+                    let mut q = EventQueue::new();
+                    let mut rng = 42u64;
+                    let mut cursor = vec![0u64; m];
+                    let mut remaining = vec![ARRIVALS_PER_SOURCE; m];
+                    for (s, c) in cursor.iter_mut().enumerate() {
+                        *c = mix(&mut rng) % 4096;
+                        q.schedule(SimTime::from_nanos(*c), s);
+                    }
+                    let mut popped = 0u64;
+                    while let Some((_, s)) = q.pop() {
+                        popped += 1;
+                        remaining[s] -= 1;
+                        if remaining[s] > 0 {
+                            cursor[s] += 1 + mix(&mut rng) % 4096;
+                            q.schedule(SimTime::from_nanos(cursor[s]), s);
+                        }
+                    }
+                    assert_eq!(popped, total);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("calendar_merge", sources),
+            &sources,
+            |b, &m| {
+                b.iter(|| {
+                    let mut cal = ArrivalCalendar::new();
+                    let mut rng = 42u64;
+                    let mut cursor = vec![0u64; m];
+                    let mut remaining = vec![ARRIVALS_PER_SOURCE; m];
+                    let mut seq = 0u64;
+                    for (s, c) in cursor.iter_mut().enumerate() {
+                        *c = mix(&mut rng) % 4096;
+                        cal.set(s, *c, seq);
+                        seq += 1;
+                    }
+                    let mut popped = 0u64;
+                    while let Some((_, _, s)) = cal.pop() {
+                        popped += 1;
+                        let s = s as usize;
+                        remaining[s] -= 1;
+                        if remaining[s] > 0 {
+                            cursor[s] += 1 + mix(&mut rng) % 4096;
+                            cal.set(s, cursor[s], seq);
+                            seq += 1;
+                        }
+                    }
+                    assert_eq!(popped, total);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_arrival_merge);
 criterion_main!(benches);

@@ -57,6 +57,9 @@ struct ChaosReport {
 struct ChaosTiming {
     /// v2: added `filters`, `utilization` / `worker_busy_ms` /
     /// `cell_timings` (scheduler counters).
+    /// v3: `QueueStats` gained the arrival-calendar counters
+    /// (`arrivals_scheduled` / `arrivals_popped`) and
+    /// `pending_at_teardown` (DESIGN.md §14).
     schema_version: u32,
     threads: usize,
     cells: usize,
@@ -270,7 +273,7 @@ fn main() {
     save_json(
         "BENCH_chaos",
         &ChaosTiming {
-            schema_version: 2,
+            schema_version: 3,
             threads: protocol.threads,
             cells: cells.len(),
             filters: options.filters.clone(),
@@ -284,7 +287,16 @@ fn main() {
                 .map(|((cell, (metrics, _)), &cell_wall)| CellTiming {
                     cell: cell_label(cell, protocol.base_seed + cell.replicate as u64),
                     wall_ms: cell_wall,
-                    scheduler: metrics.scheduler,
+                    scheduler: {
+                        // Closed scheduler ledger — holds under every
+                        // fault scenario too (DESIGN.md §14).
+                        assert!(
+                            metrics.scheduler.ledger_balanced(),
+                            "scheduler ledger out of balance: {:?}",
+                            metrics.scheduler
+                        );
+                        metrics.scheduler
+                    },
                 })
                 .collect(),
         },

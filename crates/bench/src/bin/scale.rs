@@ -33,7 +33,8 @@ use pc_bench::exp::{print_header, print_row, save_json, Row};
 use pc_bench::oracle::{self, CellMeta, TraceLine};
 use pc_bench::replay;
 use pc_bench::scale::{
-    cell_report, cells_for, execute_costed, execute_traced_costed, scale_points, ScaleProtocol,
+    cell_report, cells_for, execute_costed_with, execute_traced_costed_with, fleets, scale_points,
+    ScaleProtocol,
 };
 use pc_bench::sweep::CellTiming;
 use serde::Serialize;
@@ -56,7 +57,13 @@ struct ScaleReport {
 struct PointTiming {
     name: String,
     cells: usize,
+    /// Simulation wall time only — fleet generation is hoisted out of
+    /// the timed region and stamped separately below, so per-strategy
+    /// cell timings are comparable (the first-run cell no longer
+    /// absorbs the shared workload-synthesis cost).
     wall_ms: u64,
+    /// Wall time spent pre-generating this point's shared fleets.
+    fleet_gen_ms: u64,
     /// Worker busy share over this point's dispatch interval.
     utilization: f64,
     /// Per-worker busy milliseconds for this point's dispatch.
@@ -69,6 +76,9 @@ struct PointTiming {
 struct ScaleTiming {
     /// v2: added `filters`, per-point `utilization` / `worker_busy_ms`
     /// / `cell_timings` (scheduler counters).
+    /// v3: per-point `fleet_gen_ms` (fleet generation hoisted out of
+    /// `wall_ms`); `QueueStats` gained the arrival-calendar counters
+    /// and `pending_at_teardown` (DESIGN.md §14).
     schema_version: u32,
     threads: usize,
     shards: usize,
@@ -218,9 +228,16 @@ fn main() {
     let mut timings = Vec::new();
     for p in &selected {
         let cells = cells_for(&[p], protocol.replicates);
+        // Workload synthesis happens outside the timed region: the
+        // fleets are shared across every strategy at this point, and
+        // charging them to whichever cell dispatches first would skew
+        // the per-strategy comparison (the cost is stamped separately).
+        let gen_started = Instant::now();
+        let point_fleets = fleets(&protocol, &cells);
+        let fleet_gen_ms = gen_started.elapsed().as_millis() as u64;
         let started = Instant::now();
         let (runs, logs, dispatch) = if options.trace {
-            let (traced, dispatch) = execute_traced_costed(&protocol, &cells);
+            let (traced, dispatch) = execute_traced_costed_with(&protocol, &cells, &point_fleets);
             let mut runs = Vec::with_capacity(traced.len());
             let mut logs = Vec::with_capacity(traced.len());
             for (m, log) in traced {
@@ -229,7 +246,7 @@ fn main() {
             }
             (runs, logs, dispatch)
         } else {
-            let (runs, dispatch) = execute_costed(&protocol, &cells);
+            let (runs, dispatch) = execute_costed_with(&protocol, &cells, &point_fleets);
             (runs, Vec::new(), dispatch)
         };
         let wall_ms = started.elapsed().as_millis() as u64;
@@ -280,10 +297,24 @@ fn main() {
                 .zip(&runs)
                 .map(|(cell, m)| cell_report(&protocol, cell, m)),
         );
+        for (cell, m) in cells.iter().zip(&runs) {
+            // Closed scheduler ledger: every event the cell scheduled is
+            // popped, cancelled, or reported pending at teardown — a
+            // drift here means the wheel or calendar dropped work.
+            assert!(
+                m.scheduler.ledger_balanced(),
+                "scale {} {} seed={}: scheduler ledger out of balance: {:?}",
+                p.name,
+                cell.strategy.name(),
+                protocol.base_seed + cell.replicate as u64,
+                m.scheduler
+            );
+        }
         timings.push(PointTiming {
             name: p.name.to_string(),
             cells: cells.len(),
             wall_ms,
+            fleet_gen_ms,
             utilization: dispatch.utilization(wall_ms),
             worker_busy_ms: dispatch.worker_busy_ms.clone(),
             cell_timings: cells
@@ -321,7 +352,7 @@ fn main() {
     save_json(
         "BENCH_scale",
         &ScaleTiming {
-            schema_version: 2,
+            schema_version: 3,
             threads: protocol.threads,
             shards: protocol.shards,
             filters: options.filters.clone(),

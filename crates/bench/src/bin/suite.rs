@@ -214,6 +214,9 @@ struct ExperimentTiming {
 struct SuiteTiming {
     /// v2: added `filters`, per-experiment `utilization` /
     /// `worker_busy_ms` / `cell_timings` (scheduler counters).
+    /// v3: `QueueStats` gained the arrival-calendar counters
+    /// (`arrivals_scheduled` / `arrivals_popped`) and
+    /// `pending_at_teardown` (DESIGN.md §14).
     schema_version: u32,
     threads: usize,
     /// Active `--filter` values (empty = full suite), so a checked-in
@@ -441,7 +444,17 @@ fn main() {
                         protocol.base_seed + cell.replicate as u64
                     ),
                     wall_ms: cell_wall,
-                    scheduler: m.scheduler,
+                    scheduler: {
+                        // Closed scheduler ledger: scheduled events are
+                        // popped, cancelled, or pending at teardown —
+                        // nothing may vanish silently (DESIGN.md §14).
+                        assert!(
+                            m.scheduler.ledger_balanced(),
+                            "scheduler ledger out of balance: {:?}",
+                            m.scheduler
+                        );
+                        m.scheduler
+                    },
                 })
                 .collect(),
         });
@@ -461,7 +474,7 @@ fn main() {
     save_json(
         "BENCH_suite",
         &SuiteTiming {
-            schema_version: 2,
+            schema_version: 3,
             threads: protocol.threads,
             filters: options.filters.clone(),
             total_wall_ms,

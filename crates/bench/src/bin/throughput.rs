@@ -71,6 +71,11 @@ struct Cell {
     shards: usize,
     items_total: u64,
     wall_ms: f64,
+    /// Thread spawn + queue allocation cost, which the start barrier
+    /// keeps *out* of `wall_ms`. Stamped so nobody mistakes a cell's
+    /// measured window for its full cost (or vice versa) when comparing
+    /// strategies whose setup differs.
+    setup_ms: f64,
     items_per_sec: f64,
     ns_per_item: f64,
 }
@@ -81,6 +86,8 @@ struct Report {
     /// a checked-in sidecar can never masquerade as a full run. The
     /// `--items`/`PC_TP_ITEMS` knob was already stamped via
     /// `items_per_pair`.
+    /// v3: per-cell `setup_ms` (spawn/alloc cost outside the timed
+    /// window, previously unrecorded).
     schema_version: u32,
     items_per_pair: u64,
     filters: Vec<String>,
@@ -464,6 +471,7 @@ fn main() {
     );
     for (_, strategy, pairs, batch, shards) in &selected {
         let (pairs, batch, shards) = (*pairs, *batch, *shards);
+        let cell_started = Instant::now();
         let wall = match *strategy {
             "mutex" => cell_mutex(pairs, items),
             "sem" => cell_sem(pairs, items),
@@ -472,6 +480,9 @@ fn main() {
             "sem_sharded" => cell_sem_sharded(pairs, PACED_ITEMS),
             _ => cell_spsc(pairs, items, batch),
         };
+        // Everything the barrier fenced off the measurement: thread
+        // spawn and queue allocation (plus join teardown noise).
+        let setup = cell_started.elapsed().saturating_sub(wall);
         let cell_items = if shards > 0 { PACED_ITEMS } else { items };
         let total = cell_items * pairs as u64;
         let secs = wall.as_secs_f64();
@@ -482,6 +493,7 @@ fn main() {
             shards,
             items_total: total,
             wall_ms: secs * 1e3,
+            setup_ms: setup.as_secs_f64() * 1e3,
             items_per_sec: total as f64 / secs,
             ns_per_item: secs * 1e9 / total as f64,
         };
@@ -542,7 +554,7 @@ fn main() {
     pc_bench::exp::save_json(
         "BENCH_throughput",
         &Report {
-            schema_version: 2,
+            schema_version: 3,
             items_per_pair: items,
             filters: if filter.is_empty() {
                 Vec::new()

@@ -244,7 +244,16 @@ pub fn rerun_cell(meta: &CellMeta) -> Result<TraceLog, String> {
         };
         builder = builder.faults(FaultPlan::expand(scenario, meta.seed, &env));
     }
-    builder.run();
+    let metrics = builder.run();
+    // Re-executions must satisfy the same closed scheduler ledger as
+    // live runs (DESIGN.md §14); a drift here means the rebuilt cell
+    // diverged from the recorded one in more than its event stream.
+    if !metrics.scheduler.ledger_balanced() {
+        return Err(format!(
+            "scheduler ledger out of balance on re-execution: {:?}",
+            metrics.scheduler
+        ));
+    }
     Ok(recorder.take())
 }
 

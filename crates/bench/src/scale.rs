@@ -129,13 +129,18 @@ pub fn scale_strategies() -> Vec<StrategyKind> {
     crate::exp::evaluated_strategies()
 }
 
+/// Shared pre-generated fleets, keyed by `(pairs, replicate)`.
+pub type FleetMap = BTreeMap<(usize, usize), Arc<Vec<Trace>>>;
+
 /// Pre-generates the planet fleets a cell list needs, keyed by
 /// `(pairs, replicate)` — cells that differ only in strategy share the
 /// identical fleet (and the generation cost is paid once, in parallel).
-pub fn fleets(
-    protocol: &ScaleProtocol,
-    cells: &[CellSpec],
-) -> BTreeMap<(usize, usize), Arc<Vec<Trace>>> {
+///
+/// Call this *outside* any timed region: fleet generation is workload
+/// synthesis, not simulation, and letting it leak into a point's wall
+/// clock misattributes ~100 ms to whichever cell runs first (the
+/// `fleet_gen_ms` sidecar field records the real cost).
+pub fn fleets(protocol: &ScaleProtocol, cells: &[CellSpec]) -> FleetMap {
     let mut keys: Vec<(usize, usize)> =
         cells.iter().map(|c| (c.point.pairs, c.replicate)).collect();
     keys.sort_unstable();
@@ -205,6 +210,16 @@ pub fn execute_traced_costed(
     cells: &[CellSpec],
 ) -> (Vec<(RunMetrics, pc_trace_events::TraceLog)>, DispatchStats) {
     let fleets = fleets(protocol, cells);
+    execute_traced_costed_with(protocol, cells, &fleets)
+}
+
+/// [`execute_traced_costed`] over fleets the caller already generated,
+/// so harnesses can hoist generation out of their timed regions.
+pub fn execute_traced_costed_with(
+    protocol: &ScaleProtocol,
+    cells: &[CellSpec],
+    fleets: &FleetMap,
+) -> (Vec<(RunMetrics, pc_trace_events::TraceLog)>, DispatchStats) {
     let costs: Vec<u64> = cells
         .iter()
         .map(|cell| cell_cost(cell, protocol.duration))
@@ -237,6 +252,16 @@ pub fn execute_costed(
     cells: &[CellSpec],
 ) -> (Vec<RunMetrics>, DispatchStats) {
     let fleets = fleets(protocol, cells);
+    execute_costed_with(protocol, cells, &fleets)
+}
+
+/// [`execute_costed`] over fleets the caller already generated, so
+/// harnesses can hoist generation out of their timed regions.
+pub fn execute_costed_with(
+    protocol: &ScaleProtocol,
+    cells: &[CellSpec],
+    fleets: &FleetMap,
+) -> (Vec<RunMetrics>, DispatchStats) {
     let costs: Vec<u64> = cells
         .iter()
         .map(|cell| cell_cost(cell, protocol.duration))

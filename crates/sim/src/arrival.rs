@@ -1,0 +1,293 @@
+//! Arrival calendar: the merge front-end for pre-sorted per-source
+//! event streams (DESIGN.md §14).
+//!
+//! Workload arrivals dominate a simulation's event volume (85–95 % of
+//! all pops at fleet scale), yet they are the *least* dynamic events in
+//! the system: every pair's production times are pre-generated, sorted,
+//! and never cancelled, and each pair has at most one arrival pending
+//! at a time (`schedule_next_produce` arms the next one only when the
+//! previous pops). Routing them through the timer wheel pays a slab
+//! insert, a bucket link and a cascade share per item for flexibility
+//! nothing uses.
+//!
+//! [`ArrivalCalendar`] instead keeps one `(time, seq)` key per source
+//! in a tournament (winner) tree: replacing a source's pending arrival
+//! and re-seeding the winner is O(log M) with zero allocation, and
+//! peeking the fleet-wide minimum is O(1) — a k-way merge over M
+//! sorted streams, which is exactly what the workload is. The engine
+//! pops `min(calendar.peek(), wheel.peek())` under the wheel's own
+//! `(time, seq)` total order; because arrivals draw their sequence
+//! numbers from the *same* counter as wheel events (see
+//! [`crate::engine::Engine::schedule_arrival`]), the merged pop stream
+//! is bit-identical to scheduling every arrival through the wheel.
+//!
+//! The calendar deliberately supports no cancellation: arrivals are
+//! facts of the workload. Dynamic events (timers, drain completions,
+//! slot wakes, fault edges) stay on the wheel, which is built for them.
+
+/// Key of a pending arrival: `(time_ns, seq)`. The sentinel marks an
+/// empty source slot and loses every tournament match (no real event
+/// carries `u64::MAX` for both fields — sequence numbers are shared
+/// with the wheel and bounded by total events scheduled).
+const EMPTY: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// No-source marker in the tournament tree.
+const NONE: u32 = u32::MAX;
+
+/// An M-way merge structure holding at most one pending `(time, seq)`
+/// arrival per source, with O(1) peek-min and O(log M) replace/pop.
+///
+/// Sources are dense small integers (pair indices). The tree grows on
+/// demand; growth rebuilds in O(M) and happens O(log M) times total.
+pub struct ArrivalCalendar {
+    /// `keys[s]` = the pending arrival of source `s`, or [`EMPTY`].
+    keys: Vec<(u64, u64)>,
+    /// Winner tree over `cap` leaves: `tree[1]` is the overall winner,
+    /// node `i`'s children are `2i` and `2i + 1`, leaf `cap + s` maps
+    /// to source `s`. Each internal node holds the winning source index
+    /// of its subtree (or [`NONE`] if the subtree is empty).
+    tree: Vec<u32>,
+    /// Leaf count; a power of two ≥ `keys.len()` (0 before first use).
+    cap: usize,
+    /// Sources currently holding a pending arrival.
+    pending: usize,
+    /// Arrivals accepted since construction.
+    scheduled: u64,
+    /// Arrivals popped since construction.
+    popped: u64,
+}
+
+impl Default for ArrivalCalendar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArrivalCalendar {
+    /// Creates an empty calendar; source slots materialise on first use.
+    pub fn new() -> Self {
+        ArrivalCalendar {
+            keys: Vec::new(),
+            tree: Vec::new(),
+            cap: 0,
+            pending: 0,
+            scheduled: 0,
+            popped: 0,
+        }
+    }
+
+    /// Number of sources with a pending arrival.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no arrivals are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Arrivals accepted since construction.
+    #[inline]
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Arrivals popped since construction.
+    #[inline]
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Files source `source`'s next arrival. The source must not
+    /// already hold a pending arrival — arrivals are never replaced or
+    /// cancelled, only popped (checked in debug builds).
+    pub fn set(&mut self, source: usize, at: u64, seq: u64) {
+        if source >= self.keys.len() {
+            self.grow(source + 1);
+        }
+        debug_assert_eq!(
+            self.keys[source], EMPTY,
+            "source {source} already holds a pending arrival"
+        );
+        self.keys[source] = (at, seq);
+        self.pending += 1;
+        self.scheduled += 1;
+        self.reseed(source);
+    }
+
+    /// The earliest pending arrival as `(time_ns, seq, source)`.
+    #[inline]
+    pub fn peek(&self) -> Option<(u64, u64, u32)> {
+        if self.pending == 0 {
+            return None;
+        }
+        let winner = self.tree[1];
+        debug_assert_ne!(winner, NONE);
+        let (at, seq) = self.keys[winner as usize];
+        Some((at, seq, winner))
+    }
+
+    /// Removes and returns the earliest pending arrival.
+    pub fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        let (at, seq, source) = self.peek()?;
+        self.keys[source as usize] = EMPTY;
+        self.pending -= 1;
+        self.popped += 1;
+        self.reseed(source as usize);
+        Some((at, seq, source))
+    }
+
+    /// Key of a leaf position (sources past `keys.len()` are padding).
+    #[inline]
+    fn leaf_key(&self, s: u32) -> (u64, u64) {
+        if s == NONE {
+            EMPTY
+        } else {
+            self.keys[s as usize]
+        }
+    }
+
+    /// Replays the tournament along the path from source `s`'s leaf to
+    /// the root.
+    fn reseed(&mut self, s: usize) {
+        let mut node = (self.cap + s) >> 1;
+        while node >= 1 {
+            let left = self.tree[node << 1];
+            let right = self.tree[(node << 1) | 1];
+            self.tree[node] = if self.leaf_key(right) < self.leaf_key(left) {
+                right
+            } else {
+                left
+            };
+            node >>= 1;
+        }
+    }
+
+    /// Grows the source table to hold at least `want` sources,
+    /// rebuilding the tournament tree if the leaf capacity doubles.
+    fn grow(&mut self, want: usize) {
+        let old_len = self.keys.len();
+        self.keys.resize(want, EMPTY);
+        if want <= self.cap {
+            // New sources fit the existing leaf row; their keys are
+            // EMPTY so no internal node can change yet.
+            for s in old_len..want {
+                self.tree[self.cap + s] = s as u32;
+            }
+            return;
+        }
+        let cap = want.next_power_of_two().max(2);
+        self.cap = cap;
+        self.tree = vec![NONE; 2 * cap];
+        for s in 0..self.keys.len() {
+            self.tree[cap + s] = s as u32;
+        }
+        for node in (1..cap).rev() {
+            let left = self.tree[node << 1];
+            let right = self.tree[(node << 1) | 1];
+            self.tree[node] = if self.leaf_key(right) < self.leaf_key(left) {
+                right
+            } else {
+                left
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_global_min_across_sources() {
+        let mut cal = ArrivalCalendar::new();
+        cal.set(0, 30, 2);
+        cal.set(1, 10, 0);
+        cal.set(2, 20, 1);
+        assert_eq!(cal.peek(), Some((10, 0, 1)));
+        assert_eq!(cal.pop(), Some((10, 0, 1)));
+        assert_eq!(cal.pop(), Some((20, 1, 2)));
+        cal.set(1, 25, 3);
+        assert_eq!(cal.pop(), Some((25, 3, 1)));
+        assert_eq!(cal.pop(), Some((30, 2, 0)));
+        assert_eq!(cal.pop(), None);
+        assert_eq!(cal.scheduled(), 4);
+        assert_eq!(cal.popped(), 4);
+    }
+
+    #[test]
+    fn same_time_ties_break_by_seq() {
+        let mut cal = ArrivalCalendar::new();
+        cal.set(3, 5, 7);
+        cal.set(1, 5, 4);
+        cal.set(2, 5, 9);
+        assert_eq!(cal.pop(), Some((5, 4, 1)));
+        assert_eq!(cal.pop(), Some((5, 7, 3)));
+        assert_eq!(cal.pop(), Some((5, 9, 2)));
+    }
+
+    #[test]
+    fn growth_preserves_pending_entries() {
+        let mut cal = ArrivalCalendar::new();
+        cal.set(0, 100, 0);
+        cal.set(1, 50, 1);
+        // Force several capacity doublings past the live entries.
+        cal.set(700, 75, 2);
+        assert_eq!(cal.len(), 3);
+        assert_eq!(cal.pop(), Some((50, 1, 1)));
+        assert_eq!(cal.pop(), Some((75, 2, 700)));
+        assert_eq!(cal.pop(), Some((100, 0, 0)));
+    }
+
+    #[test]
+    fn empty_calendar_peeks_none() {
+        let cal = ArrivalCalendar::new();
+        assert_eq!(cal.peek(), None);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn matches_sorted_merge_reference() {
+        // Deterministic pseudo-random merge of 13 streams against a
+        // flat sort: identical pop order, every time.
+        let sources = 13usize;
+        let mut cal = ArrivalCalendar::new();
+        let mut cursors = vec![0u64; sources];
+        let mut seq = 0u64;
+        let mut expect: Vec<(u64, u64, u32)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let next = |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *s >> 33
+        };
+        for (s, cursor) in cursors.iter_mut().enumerate() {
+            let at = next(&mut state) % 64;
+            *cursor = at;
+            cal.set(s, at, seq);
+            expect.push((at, seq, s as u32));
+            seq += 1;
+        }
+        let mut got = Vec::new();
+        for _ in 0..2000 {
+            let (at, sq, src) = cal.pop().expect("streams never dry here");
+            got.push((at, sq, src));
+            // Source emits its next arrival at a later time.
+            let step = 1 + next(&mut state) % 64;
+            let at = cursors[src as usize] + step;
+            cursors[src as usize] = at;
+            cal.set(src as usize, at, seq);
+            expect.push((at, seq, src));
+            seq += 1;
+        }
+        while let Some(e) = cal.pop() {
+            got.push(e);
+        }
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(cal.scheduled(), cal.popped());
+    }
+}

@@ -28,15 +28,33 @@
 //! Keeping state outside the engine sidesteps the usual borrow tangle of
 //! callback-based designs and makes system models plain, testable structs.
 
+use crate::arrival::ArrivalCalendar;
 use crate::event::{EventId, EventQueue, QueueStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use pc_trace_events::TraceHandle;
 
+/// One event handed out by [`Engine::next_merged_before`]: either a
+/// workload arrival from the calendar front-end (identified by its
+/// source index — the payload is the caller's cursor state) or a
+/// dynamic event from the timer wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Popped<E> {
+    /// The next pre-filed arrival of `source` (see
+    /// [`Engine::schedule_arrival`]).
+    Arrival(u32),
+    /// A wheel event (timers, drains, slot wakes, fault edges).
+    Timer(E),
+}
+
 /// Event queue + clock + deterministic RNG. See the module docs for the
 /// driver-loop idiom.
 pub struct Engine<E> {
     queue: EventQueue<E>,
+    /// Merge front-end for pre-sorted workload arrivals (DESIGN.md §14).
+    /// Shares the wheel's sequence counter, so the merged pop reproduces
+    /// the exact `(time, seq)` order of an all-through-the-wheel run.
+    arrivals: ArrivalCalendar,
     now: SimTime,
     rng: SimRng,
     trace: TraceHandle,
@@ -47,6 +65,7 @@ impl<E> Engine<E> {
     pub fn new(seed: u64) -> Self {
         Engine {
             queue: EventQueue::new(),
+            arrivals: ArrivalCalendar::new(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             trace: TraceHandle::disabled(),
@@ -95,6 +114,23 @@ impl<E> Engine<E> {
         self.queue.cancel(id)
     }
 
+    /// Files the next arrival of `source` at absolute time `at`. The
+    /// arrival consumes a sequence number from the *same* counter wheel
+    /// events use, at the exact point this call is made — so a run that
+    /// files arrivals here pops the bit-identical `(time, seq)` stream
+    /// of a run that pushed them through [`Engine::schedule_at`]. At
+    /// most one arrival per source may be pending (the cursor
+    /// discipline); arrivals cannot be cancelled.
+    pub fn schedule_arrival(&mut self, at: SimTime, source: u32) {
+        debug_assert!(
+            at >= self.now,
+            "arrival scheduled into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.queue.take_seq();
+        self.arrivals.set(source as usize, at.as_nanos(), seq);
+    }
+
     /// Pops the next event if it fires at or before `deadline`, advancing
     /// the clock to its timestamp.
     pub fn next_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
@@ -103,6 +139,40 @@ impl<E> Engine<E> {
         self.now = t;
         self.trace.set_now(t.as_nanos());
         Some((t, ev))
+    }
+
+    /// Pops the earliest of `min(arrivals.peek(), wheel.peek())` — the
+    /// global `(time, seq)` minimum across both backends — if it fires
+    /// at or before `deadline`, advancing the clock to its timestamp.
+    /// Deadline misses pop nothing and leave the clock untouched,
+    /// exactly like [`Engine::next_before`].
+    pub fn next_merged_before(&mut self, deadline: SimTime) -> Option<(SimTime, Popped<E>)> {
+        // Sequence numbers are globally unique across both backends, so
+        // a strict key comparison is a total order; equal times resolve
+        // by schedule order, exactly as the wheel alone would.
+        let take_arrival = match (self.arrivals.peek(), self.queue.peek_key()) {
+            (Some((aa, aseq, _)), Some((wa, wseq))) => (aa, aseq) < (wa, wseq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_arrival {
+            let (at, _seq, source) = self.arrivals.peek().expect("checked above");
+            let t = SimTime::from_nanos(at);
+            if t > deadline {
+                return None;
+            }
+            self.arrivals.pop();
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.trace.set_now(at);
+            Some((t, Popped::Arrival(source)))
+        } else {
+            let (t, ev) = self.queue.pop_until(deadline)?;
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.trace.set_now(t.as_nanos());
+            Some((t, Popped::Timer(ev)))
+        }
     }
 
     /// Pops the next event unconditionally, advancing the clock.
@@ -120,15 +190,22 @@ impl<E> Engine<E> {
         self.queue.peek_time()
     }
 
-    /// Number of pending events.
+    /// Number of pending events (wheel and arrival calendar).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.arrivals.len()
     }
 
     /// Deterministic scheduler operation counters (see
-    /// [`QueueStats`]) accumulated since the engine was created.
+    /// [`QueueStats`]) accumulated since the engine was created:
+    /// wheel counters plus the arrival calendar's, with
+    /// `pending_at_teardown` covering both backends — so the snapshot
+    /// always satisfies [`QueueStats::ledger_balanced`].
     pub fn queue_stats(&self) -> QueueStats {
-        self.queue.stats()
+        let mut stats = self.queue.stats();
+        stats.arrivals_scheduled = self.arrivals.scheduled();
+        stats.arrivals_popped = self.arrivals.popped();
+        stats.pending_at_teardown += self.arrivals.len() as u64;
+        stats
     }
 
     /// Advances the clock to `t` without processing events. Intended for
@@ -186,6 +263,51 @@ mod tests {
         eng.schedule_at(SimTime::from_micros(2), "kept");
         assert!(eng.cancel(id));
         assert_eq!(eng.next().map(|(_, e)| e), Some("kept"));
+    }
+
+    #[test]
+    fn merged_pop_interleaves_arrivals_and_timers_by_key() {
+        let mut eng = Engine::new(1);
+        eng.schedule_arrival(SimTime::from_nanos(5), 0); // seq 0
+        eng.schedule_at(SimTime::from_nanos(5), "timer@5"); // seq 1
+        eng.schedule_arrival(SimTime::from_nanos(3), 1); // seq 2
+        eng.schedule_at(SimTime::from_nanos(1), "timer@1"); // seq 3
+        let deadline = SimTime::from_secs(1);
+        let mut got = Vec::new();
+        while let Some((t, ev)) = eng.next_merged_before(deadline) {
+            got.push((t.as_nanos(), ev));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (1, Popped::Timer("timer@1")),
+                (3, Popped::Arrival(1)),
+                // Same nanosecond: the arrival was scheduled first, so
+                // its shared seq (0) wins the FIFO tie against seq 1.
+                (5, Popped::Arrival(0)),
+                (5, Popped::Timer("timer@5")),
+            ]
+        );
+        let stats = eng.queue_stats();
+        assert_eq!(stats.arrivals_scheduled, 2);
+        assert_eq!(stats.arrivals_popped, 2);
+        assert_eq!(stats.scheduled, 2);
+        assert_eq!(stats.popped, 2);
+        assert_eq!(stats.pending_at_teardown, 0);
+        assert!(stats.ledger_balanced());
+    }
+
+    #[test]
+    fn merged_deadline_miss_pops_nothing_for_either_backend() {
+        let mut eng = Engine::<()>::new(1);
+        eng.schedule_arrival(SimTime::from_secs(2), 0);
+        assert!(eng.next_merged_before(SimTime::from_secs(1)).is_none());
+        assert_eq!(eng.now(), SimTime::ZERO);
+        assert_eq!(eng.pending(), 1);
+        let stats = eng.queue_stats();
+        assert_eq!(stats.pending_at_teardown, 1);
+        assert!(stats.ledger_balanced());
+        assert!(eng.next_merged_before(SimTime::from_secs(2)).is_some());
     }
 
     #[test]

@@ -79,6 +79,29 @@ pub struct QueueStats {
     /// counter is retained (and asserted zero in tests) as the proof that
     /// the heap's compaction path is gone.
     pub compactions: u64,
+    /// Workload arrivals filed through the calendar front-end
+    /// (DESIGN.md §14) instead of the wheel. Zero for a bare
+    /// [`EventQueue`]; stamped by `Engine::queue_stats`.
+    pub arrivals_scheduled: u64,
+    /// Workload arrivals popped from the calendar front-end.
+    pub arrivals_popped: u64,
+    /// Events (wheel + calendar) still pending when this snapshot was
+    /// taken. Named for its load-bearing reading: a run's end-of-run
+    /// stats count the events it scheduled but never processed (e.g. a
+    /// `DrainDone` whose drain window outlives the horizon).
+    pub pending_at_teardown: u64,
+}
+
+impl QueueStats {
+    /// The scheduler conservation ledger: every event ever accepted —
+    /// through the wheel or the calendar — is popped, cancelled, or
+    /// still pending at the snapshot. The bench harnesses and the
+    /// replay tooling assert this at end-of-run; a miss means a counter
+    /// leak, not a tolerable rounding.
+    pub fn ledger_balanced(&self) -> bool {
+        self.scheduled + self.arrivals_scheduled
+            == self.popped + self.arrivals_popped + self.cancelled + self.pending_at_teardown
+    }
 }
 
 /// Where a slab node currently lives.
@@ -221,19 +244,37 @@ impl<E> EventQueue<E> {
 
     /// The earliest pending event time, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(at, _)| SimTime::from_nanos(at))
+    }
+
+    /// The `(time_ns, seq)` key of the earliest pending event — the
+    /// wheel's side of the merged pop with the arrival calendar
+    /// (DESIGN.md §14). Like [`EventQueue::peek_time`] this may drain
+    /// buckets into staging, but it never pops.
+    pub fn peek_key(&mut self) -> Option<(u64, u64)> {
         loop {
-            while let Some(&(at, _, idx)) = self.staging.last() {
+            while let Some(&(at, seq, idx)) = self.staging.last() {
                 if self.nodes[idx as usize].loc == Loc::Dead {
                     self.staging.pop();
                     self.release(idx);
                     continue;
                 }
-                return Some(SimTime::from_nanos(at));
+                return Some((at, seq));
             }
             if !self.refill() {
                 return None;
             }
         }
+    }
+
+    /// Consumes one sequence number from the queue's tie-break counter
+    /// without scheduling anything. The arrival calendar draws its seqs
+    /// here so wheel events and arrivals share one global `(time, seq)`
+    /// total order — the linchpin of the bit-identical merged pop.
+    pub fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Pops the earliest pending event.
@@ -279,9 +320,14 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
-    /// Deterministic operation counters since construction.
+    /// Deterministic operation counters since construction. The
+    /// `pending_at_teardown` field is stamped with the current live
+    /// count, so the snapshot always satisfies
+    /// [`QueueStats::ledger_balanced`].
     pub fn stats(&self) -> QueueStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.pending_at_teardown = self.live as u64;
+        stats
     }
 
     // ---- slab -----------------------------------------------------------

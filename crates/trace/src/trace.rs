@@ -33,8 +33,19 @@ impl Trace {
     }
 
     /// The production timestamps.
+    #[inline]
     pub fn times(&self) -> &[SimTime] {
         &self.times
+    }
+
+    /// The `idx`-th production timestamp, if any. Cursor accessor for
+    /// the arrival-calendar front-end (DESIGN.md §14): the sim advances
+    /// a per-pair index through a shared fleet trace one item at a time,
+    /// so this must stay a bounds-checked load with no slice round-trip
+    /// or cloning.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<SimTime> {
+        self.times.get(idx).copied()
     }
 
     /// Consumes the trace, returning its timestamps without cloning.
@@ -43,11 +54,13 @@ impl Trace {
     }
 
     /// Number of items produced.
+    #[inline]
     pub fn len(&self) -> usize {
         self.times.len()
     }
 
     /// Whether the trace is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }

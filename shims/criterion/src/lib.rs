@@ -5,8 +5,18 @@
 //! printing one line per benchmark. No statistical analysis, HTML
 //! reports, or regression detection — this exists so `cargo bench`
 //! still measures something useful without the real crate.
+//!
+//! Like upstream criterion, `cargo bench -- --test` runs every
+//! benchmark in test mode: a single sample per benchmark, no timing
+//! report — CI's bench-smoke step uses it to keep the benches
+//! compiling and panic-free without paying for real measurement.
 
 use std::time::{Duration, Instant};
+
+/// Whether `--test` was passed (upstream: run benches once as tests).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Re-export of the standard black box.
 pub use std::hint::black_box;
@@ -126,6 +136,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size + 1),
     };
+    if test_mode() {
+        // `--test`: one un-timed pass per benchmark, like upstream.
+        f(&mut bencher);
+        println!("{id:<50} ok (--test)");
+        return;
+    }
     // One warm-up sample, discarded.
     f(&mut bencher);
     bencher.samples.clear();
