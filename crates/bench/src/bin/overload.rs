@@ -1,42 +1,46 @@
-//! Chaos sweep runner — every fault scenario crossed with the strategy
-//! panel, on the parallel sweep engine.
+//! Overload sweep runner — the strategy panel under correlated overload
+//! scenarios, with and without the deadline-aware overload control
+//! layer (DESIGN.md §15).
 //!
 //! ```text
-//! cargo run --release -p pc-bench --bin chaos -- [--filter NAME]...
+//! cargo run --release -p pc-bench --bin overload -- [--filter NAME]...
 //!     [--threads N] [--trace] [--list]
 //! ```
 //!
 //! Writes two files under `results/`:
 //!
-//! * `chaos.json` — per-cell metrics plus trace-derived recovery
-//!   metrics (overflow bursts, scheduled/overflow wake counts, recovery
-//!   lag). **Byte-identical for any `--threads` value at the same
-//!   seed** — the CI determinism gate byte-compares `--threads 4`
-//!   against `--threads 1`, exactly like `suite.json`.
-//! * `BENCH_chaos.json` — wall-clock and thread count (timings only).
+//! * `overload.json` — per-cell metrics plus the shed/deadline
+//!   accounting (`items_shed`, `shed_pct`, `overload_windows`,
+//!   `deadline_misses`). **Byte-identical for any `--threads` value at
+//!   the same seed** — the CI determinism gate byte-compares
+//!   `--threads 4` against `--threads 1`, exactly like `suite.json`,
+//!   and `--trace` must not change the bytes either.
+//! * `BENCH_overload.json` — wall-clock and thread count (timings only).
 //!
-//! Every cell is *always* traced internally: the recovery metrics come
-//! from the event stream, and each stream is replayed through the
-//! extended oracle (`pc_bench::oracle`) — item and pool conservation
-//! must hold through every injected fault, and any violation fails the
-//! run. `--trace` additionally exports the streams to
-//! `results/chaos_trace.jsonl` in the suite's `CellMeta`/event JSONL
-//! format, so `trace_report` can re-verify the export offline.
+//! Every cell is *always* traced internally and replayed through the
+//! extended oracle (`pc_bench::oracle`): item conservation through
+//! shedding (`produced == consumed + shed`), paired overload windows
+//! with exact per-window shed counts, and pool conservation must hold
+//! through every injected fault; any violation fails the run. `--trace`
+//! additionally exports the streams to `results/overload_trace.jsonl`
+//! in the suite's `CellMeta`/event JSONL format, so `trace_report` can
+//! re-verify the export offline and `replay` can re-execute it (the
+//! `…(overload)` strategy labels alone carry the overload recipe).
 //!
-//! `--filter` takes the exact cell name `{scenario}/{strategy}`,
-//! matching the scale and overload runners' exact-name semantics
-//! (every replicate of that point runs) — `--list` prints every name.
+//! `--filter` takes the exact cell name `{scenario}/{strategy}` (the
+//! planet-scale block is `{scenario}@m100/{strategy}`), matching the
+//! scale runner's exact-name semantics — `--list` prints every name.
 //!
 //! `PC_DURATION_MS`, `PC_REPLICATES`, `PC_SEED`, `PC_THREADS` and
 //! `PC_TRACE_CAP` apply as everywhere else; `--threads` overrides
 //! `PC_THREADS`.
 
-use pc_bench::chaos::{
-    chaos_cell_report, chaos_cells, chaos_oracle, chaos_point, chaos_strategies,
-    chaos_strategy_label, execute_chaos_costed, ChaosCellReport, ChaosCellSpec,
-};
 use pc_bench::exp::{save_json, Protocol};
 use pc_bench::oracle::{self, CellMeta, TraceLine};
+use pc_bench::overload::{
+    execute_overload_costed, overload_cell_name, overload_cell_report, overload_cells,
+    overload_oracle, overload_strategy_label, OverloadCellReport, OverloadCellSpec, OverloadPoint,
+};
 use pc_bench::replay;
 use pc_bench::sweep::CellTiming;
 use serde::Serialize;
@@ -44,28 +48,20 @@ use std::io::Write;
 use std::time::Instant;
 
 #[derive(Serialize)]
-struct ChaosReport {
+struct OverloadReport {
     /// Bump on any change to this file's structure.
     schema_version: u32,
     duration_ms: u64,
     replicates: usize,
     base_seed: u64,
     trace_mean_rate: f64,
-    pairs: usize,
-    cores: usize,
-    buffer: usize,
-    cells: Vec<ChaosCellReport>,
+    cells: Vec<OverloadCellReport>,
 }
 
 #[derive(Serialize)]
-struct ChaosTiming {
-    /// v2: added `filters`, `utilization` / `worker_busy_ms` /
-    /// `cell_timings` (scheduler counters).
-    /// v3: `QueueStats` gained the arrival-calendar counters
-    /// (`arrivals_scheduled` / `arrivals_popped`) and
-    /// `pending_at_teardown` (DESIGN.md §14).
-    /// v4: `QueueStats` gained `items_shed` (overload control,
-    /// DESIGN.md §15; zero whenever the layer is disabled).
+struct OverloadTiming {
+    /// v4 from birth: `QueueStats` carries `items_shed` (DESIGN.md §15)
+    /// — matching the other sidecars' v4 bump.
     schema_version: u32,
     threads: usize,
     cells: usize,
@@ -117,16 +113,19 @@ fn parse_args() -> Options {
             "--list" => options.list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--filter NAME]... [--threads N] [--trace] [--list]\n\
+                    "usage: overload [--filter NAME]... [--threads N] [--trace] [--list]\n\
                      \n\
-                     Runs the fault-injection sweep (every scenario x strategy\n\
-                     panel) and writes results/chaos.json (deterministic) and\n\
-                     results/BENCH_chaos.json (timings). --filter keeps cells\n\
-                     whose exact name 'scenario/strategy' equals NAME\n\
-                     (repeatable, OR; --list prints every name; all replicates\n\
-                     of a matched point run). Every cell is traced and replayed\n\
-                     through the extended oracle; violations fail the run.\n\
-                     --trace exports results/chaos_trace.jsonl.\n\
+                     Runs the overload sweep ({{BP, PBPL, PBPL(degraded),\n\
+                     PBPL(overload)}} x every fault scenario incl. the\n\
+                     correlated flash_crowd / cascading_squeeze, plus a planet\n\
+                     m100 flash-crowd block) and writes results/overload.json\n\
+                     (deterministic) and results/BENCH_overload.json (timings).\n\
+                     --filter keeps cells whose exact name\n\
+                     'scenario/strategy' (planet block: 'scenario@m100/strategy')\n\
+                     equals NAME (repeatable, OR; --list prints every name).\n\
+                     Every cell is traced and replayed through the extended\n\
+                     oracle; violations fail the run. --trace exports\n\
+                     results/overload_trace.jsonl.\n\
                      Env: PC_DURATION_MS, PC_REPLICATES, PC_SEED, PC_THREADS,\n\
                      PC_TRACE_CAP."
                 );
@@ -139,23 +138,8 @@ fn parse_args() -> Options {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("chaos: {msg} (try --help)");
+    eprintln!("overload: {msg} (try --help)");
     std::process::exit(2);
-}
-
-/// Exact cell name used by `--filter` / `--list` (scale-runner
-/// semantics; replicates of one point share it).
-fn point_name(cell: &ChaosCellSpec) -> String {
-    format!(
-        "{}/{}",
-        cell.scenario.name(),
-        chaos_strategy_label(&cell.strategy)
-    )
-}
-
-/// Per-replicate label used for oracle diagnostics and cell timings.
-fn cell_label(cell: &ChaosCellSpec, seed: u64) -> String {
-    format!("{} seed={}", point_name(cell), seed)
 }
 
 fn main() {
@@ -165,13 +149,14 @@ fn main() {
         protocol.threads = threads;
     }
 
-    // Exact-name filters (scale-runner semantics): strategy labels are
-    // prefixes of one another ("PBPL" vs "PBPL(degraded)"), so substring
-    // matching would make the shorter cell unselectable on its own.
-    let cells: Vec<ChaosCellSpec> = chaos_cells(&chaos_strategies(), protocol.replicates)
+    // Exact-name filters (scale-runner semantics): several cell names
+    // are prefixes of others ("flash_crowd/PBPL" vs
+    // "flash_crowd/PBPL(overload)"), so substring matching would make
+    // the narrower cell unselectable on its own.
+    let cells: Vec<OverloadCellSpec> = overload_cells(protocol.replicates)
         .into_iter()
         .filter(|cell| {
-            let name = point_name(cell);
+            let name = overload_cell_name(cell);
             options.filters.is_empty() || options.filters.iter().any(|f| name == f.as_str())
         })
         .collect();
@@ -179,7 +164,7 @@ fn main() {
     if options.list {
         let mut seen = std::collections::BTreeSet::new();
         for cell in &cells {
-            let name = point_name(cell);
+            let name = overload_cell_name(cell);
             if seen.insert(name.clone()) {
                 println!("{name}");
             }
@@ -190,10 +175,9 @@ fn main() {
         die("no cell matches the given --filter (names are exact; see --list)");
     }
 
-    let point = chaos_point();
     let duration_ms = protocol.duration.as_nanos() / 1_000_000;
     println!(
-        "chaos: {} cell(s), {} ms horizon, {} replicate(s), seed {}, {} thread(s)",
+        "overload: {} cell(s), {} ms horizon, {} replicate(s), seed {}, {} thread(s)",
         cells.len(),
         duration_ms,
         protocol.replicates,
@@ -206,7 +190,7 @@ fn main() {
     let mut trace_out = if options.trace {
         std::fs::create_dir_all("results")
             .unwrap_or_else(|e| die(&format!("cannot create results dir: {e}")));
-        let path = std::path::Path::new("results").join("chaos_trace.jsonl");
+        let path = std::path::Path::new("results").join("overload_trace.jsonl");
         let file = std::fs::File::create(&path)
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
         Some((path, std::io::BufWriter::new(file)))
@@ -215,47 +199,69 @@ fn main() {
     };
 
     let started = Instant::now();
-    let (results, dispatch) = execute_chaos_costed(&protocol, &cells, protocol.threads);
+    let (results, dispatch) = execute_overload_costed(&protocol, &cells, protocol.threads);
     let total_wall_ms = started.elapsed().as_millis() as u64;
 
     let mut oracle_failures: Vec<String> = Vec::new();
     let mut reports = Vec::with_capacity(cells.len());
     println!(
-        "{:<16} {:<16} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>12}",
-        "scenario", "strategy", "items", "wakeups", "ovf", "consec", "sched", "burst", "rec_lag_us"
+        "{:<24} {:<16} {:>9} {:>8} {:>7} {:>8} {:>7} {:>8}",
+        "scenario", "strategy", "items", "shed", "shed%", "windows", "misses", "wakeups"
     );
     for (cell, (metrics, log)) in cells.iter().zip(&results) {
         let seed = protocol.base_seed + cell.replicate as u64;
-        let label = cell_label(cell, seed);
-        let report = chaos_oracle(log);
+        let name = overload_cell_name(cell);
+        let report = overload_oracle(log);
         for violation in report.violations {
-            oracle_failures.push(format!("{label}: {violation}"));
+            oracle_failures.push(format!("{name} seed={seed}: {violation}"));
         }
-        let row = chaos_cell_report(&protocol, cell, metrics, log);
+        // The non-overload panel rows must never shed: the layer is
+        // opt-in per cell, and a nonzero count here would mean the knob
+        // leaked across cells.
+        if !cell.overload && metrics.items_shed != 0 {
+            oracle_failures.push(format!(
+                "{name} seed={seed}: shed {} items with overload control disabled",
+                metrics.items_shed
+            ));
+        }
+        let row = overload_cell_report(&protocol, cell, metrics, log);
         println!(
-            "{:<16} {:<16} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>12.1}",
-            row.scenario,
+            "{:<24} {:<16} {:>9} {:>8} {:>6.2}% {:>8} {:>7} {:>8}",
+            match cell.point {
+                OverloadPoint::Chaos => row.scenario.clone(),
+                OverloadPoint::PlanetM100 => format!("{}@m100", row.scenario),
+            },
             row.strategy,
             row.items_consumed,
-            row.wakeups,
-            row.recovery.overflow_wakes,
-            row.recovery.consec_overflow_wakes,
-            row.recovery.scheduled_wakes,
-            row.recovery.max_overflow_burst,
-            row.recovery.max_recovery_lag_ns as f64 / 1_000.0
+            row.items_shed,
+            row.shed_pct,
+            row.overload_windows,
+            row.deadline_misses,
+            row.wakeups
         );
         if let Some((path, out)) = trace_out.as_mut() {
+            let point = cell.point.grid();
             let meta = CellMeta {
-                experiment: format!("chaos_{}", cell.scenario.name()),
-                strategy: row.strategy.clone(),
+                experiment: match cell.point {
+                    OverloadPoint::Chaos => format!("overload_{}", cell.scenario.name()),
+                    OverloadPoint::PlanetM100 => {
+                        format!("overload_{}_m100", cell.scenario.name())
+                    }
+                },
+                strategy: overload_strategy_label(&cell.strategy, cell.overload),
                 pairs: point.pairs as u64,
                 cores: point.cores as u64,
                 buffer: point.buffer as u64,
                 seed,
                 duration_ns: protocol.duration.as_nanos(),
-                workload: replay::worldcup_workload_label(&protocol.trace)
-                    .unwrap_or_else(|| die("trace config matches no named workload — unreplayable"))
-                    .to_string(),
+                workload: match cell.point {
+                    OverloadPoint::Chaos => replay::worldcup_workload_label(&protocol.trace)
+                        .unwrap_or_else(|| {
+                            die("trace config matches no named workload — unreplayable")
+                        })
+                        .to_string(),
+                    OverloadPoint::PlanetM100 => "planet_scale".to_string(),
+                },
                 scenario: cell.scenario.name().to_string(),
                 period_ns: oracle::strategy_period_ns(&cell.strategy),
                 events: log.events.len() as u64,
@@ -273,22 +279,19 @@ fn main() {
     }
 
     save_json(
-        "chaos",
-        &ChaosReport {
+        "overload",
+        &OverloadReport {
             schema_version: 1,
             duration_ms,
             replicates: protocol.replicates,
             base_seed: protocol.base_seed,
             trace_mean_rate: protocol.trace.mean_rate,
-            pairs: point.pairs,
-            cores: point.cores,
-            buffer: point.buffer,
             cells: reports,
         },
     );
     save_json(
-        "BENCH_chaos",
-        &ChaosTiming {
+        "BENCH_overload",
+        &OverloadTiming {
             schema_version: 4,
             threads: protocol.threads,
             cells: cells.len(),
@@ -301,11 +304,16 @@ fn main() {
                 .zip(&results)
                 .zip(&dispatch.cell_wall_ms)
                 .map(|((cell, (metrics, _)), &cell_wall)| CellTiming {
-                    cell: cell_label(cell, protocol.base_seed + cell.replicate as u64),
+                    cell: format!(
+                        "{} seed={}",
+                        overload_cell_name(cell),
+                        protocol.base_seed + cell.replicate as u64
+                    ),
                     wall_ms: cell_wall,
                     scheduler: {
-                        // Closed scheduler ledger — holds under every
-                        // fault scenario too (DESIGN.md §14).
+                        // Closed scheduler ledger — shedding must not
+                        // unbalance it (shed items still ride the
+                        // arrival calendar; DESIGN.md §14, §15).
                         assert!(
                             metrics.scheduler.ledger_balanced(),
                             "scheduler ledger out of balance: {:?}",
@@ -325,16 +333,16 @@ fn main() {
 
     if oracle_failures.is_empty() {
         let events: u64 = results.iter().map(|(_, log)| log.events.len() as u64).sum();
-        println!("chaos: replay oracle clean over {events} events");
+        println!("overload: replay oracle clean over {events} events");
     } else {
         for failure in &oracle_failures {
-            eprintln!("chaos: ORACLE VIOLATION: {failure}");
+            eprintln!("overload: ORACLE VIOLATION: {failure}");
         }
         eprintln!(
-            "chaos: replay oracle found {} violation(s)",
+            "overload: replay oracle found {} violation(s)",
             oracle_failures.len()
         );
         std::process::exit(1);
     }
-    println!("chaos: done in {total_wall_ms} ms");
+    println!("overload: done in {total_wall_ms} ms");
 }

@@ -79,6 +79,9 @@ struct ScaleTiming {
     /// v3: per-point `fleet_gen_ms` (fleet generation hoisted out of
     /// `wall_ms`); `QueueStats` gained the arrival-calendar counters
     /// and `pending_at_teardown` (DESIGN.md §14).
+    /// v4: `QueueStats` gained `items_shed` (overload control,
+    /// DESIGN.md §15; zero whenever the layer is disabled — always,
+    /// for the scale sweep's cells).
     schema_version: u32,
     threads: usize,
     shards: usize,
@@ -352,7 +355,7 @@ fn main() {
     save_json(
         "BENCH_scale",
         &ScaleTiming {
-            schema_version: 3,
+            schema_version: 4,
             threads: protocol.threads,
             shards: protocol.shards,
             filters: options.filters.clone(),

@@ -217,6 +217,9 @@ struct SuiteTiming {
     /// v3: `QueueStats` gained the arrival-calendar counters
     /// (`arrivals_scheduled` / `arrivals_popped`) and
     /// `pending_at_teardown` (DESIGN.md §14).
+    /// v4: `QueueStats` gained `items_shed` (overload control,
+    /// DESIGN.md §15; zero whenever the layer is disabled — always,
+    /// for the suite's paper-default cells).
     schema_version: u32,
     threads: usize,
     /// Active `--filter` values (empty = full suite), so a checked-in
@@ -474,7 +477,7 @@ fn main() {
     save_json(
         "BENCH_suite",
         &SuiteTiming {
-            schema_version: 3,
+            schema_version: 4,
             threads: protocol.threads,
             filters: options.filters.clone(),
             total_wall_ms,

@@ -10,6 +10,7 @@
 pub mod chaos;
 pub mod exp;
 pub mod oracle;
+pub mod overload;
 pub mod replay;
 pub mod scale;
 pub mod sweep;

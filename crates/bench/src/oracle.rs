@@ -4,7 +4,10 @@
 //! The checks mirror the invariants CLAUDE.md says the tests lean on:
 //!
 //! 1. **Item conservation** — per pair, every produced item is accounted
-//!    for by an invocation batch or the end-of-run flush.
+//!    for by an invocation batch, the end-of-run flush, or a ledgered
+//!    shed (`produced == consumed + shed`; shed is necessarily zero when
+//!    overload control is disabled, because a disabled run cannot emit
+//!    `ItemShed` at all — see invariant 6).
 //! 2. **Elastic-pool conservation** — replaying `Buffer*` events, the sum
 //!    of buffer capacities plus the pool's available units equals the
 //!    pool total after *every* transaction, grants never exceed requests,
@@ -27,6 +30,13 @@
 //!    grabbed. Squeezed units count toward pool conservation, so the
 //!    Σ capacities + squeezed + available == total ledger balances
 //!    through every fault.
+//! 6. **Overload-window pairing** — every `OverloadEntered` is matched
+//!    by an `OverloadCleared` for the same pair (teardown force-clears
+//!    open windows), windows never nest, every `ItemShed` falls inside
+//!    an open window of its pair, and each `OverloadCleared` reports
+//!    exactly the sheds replayed inside its window — so Σ `ItemShed`
+//!    per pair equals Σ `OverloadCleared.shed` per pair, window by
+//!    window (DESIGN.md §15).
 //!
 //! A truncated trace (`dropped > 0`) is reported as a violation: a
 //! partial stream cannot prove conservation, and silently passing would
@@ -60,6 +70,7 @@ impl OracleReport {
 struct PairLedger {
     produced: u64,
     consumed: u64,
+    shed: u64,
 }
 
 /// Replays `log` and reports every invariant violation found.
@@ -88,6 +99,7 @@ pub fn check(log: &TraceLog) -> OracleReport {
     check_core_spans(&log.events, &mut violations);
     check_reservations(&log.events, &mut violations);
     check_faults(&log.events, &mut violations);
+    check_overload(&log.events, &mut violations);
 
     OracleReport {
         events: log.events.len() as u64,
@@ -96,7 +108,8 @@ pub fn check(log: &TraceLog) -> OracleReport {
     }
 }
 
-/// Invariant 1: per pair, Σ Produce == Σ Invoke.batch + Σ Flush.drained.
+/// Invariant 1: per pair, Σ Produce == Σ Invoke.batch + Σ Flush.drained
+/// + Σ ItemShed.
 fn check_items(events: &[Event], violations: &mut Vec<String>) {
     let mut pairs: BTreeMap<u32, PairLedger> = BTreeMap::new();
     for ev in events {
@@ -110,14 +123,17 @@ fn check_items(events: &[Event], violations: &mut Vec<String>) {
             TraceEvent::Flush { pair, drained } => {
                 pairs.entry(*pair).or_default().consumed += drained;
             }
+            TraceEvent::ItemShed { pair } => {
+                pairs.entry(*pair).or_default().shed += 1;
+            }
             _ => {}
         }
     }
     for (pair, ledger) in &pairs {
-        if ledger.produced != ledger.consumed {
+        if ledger.produced != ledger.consumed + ledger.shed {
             violations.push(format!(
-                "item conservation: pair {pair} produced {} but invocations+flush account for {}",
-                ledger.produced, ledger.consumed
+                "item conservation: pair {pair} produced {} but invocations+flush account for {} and sheds for {}",
+                ledger.produced, ledger.consumed, ledger.shed
             ));
         }
     }
@@ -439,6 +455,49 @@ fn check_faults(events: &[Event], violations: &mut Vec<String>) {
     for (id, kind) in &active {
         violations.push(format!(
             "faults: fault {id} ({kind}) still open at end of trace — rollback never ran"
+        ));
+    }
+}
+
+/// Invariant 6: overload windows pair up and ledger every shed. The
+/// per-window check subsumes the per-pair sum: if every window's
+/// `OverloadCleared.shed` matches the sheds replayed inside it, the
+/// per-pair totals match too.
+fn check_overload(events: &[Event], violations: &mut Vec<String>) {
+    // pair -> sheds replayed inside the currently-open window.
+    let mut open: BTreeMap<u32, u64> = BTreeMap::new();
+    for ev in events {
+        let seq = ev.seq;
+        match &ev.kind {
+            TraceEvent::OverloadEntered { pair, .. } => {
+                let already_open = open.insert(*pair, 0).is_some();
+                if already_open {
+                    violations.push(format!(
+                        "overload: seq {seq} pair {pair} entered overload while its window is already open"
+                    ));
+                }
+            }
+            TraceEvent::ItemShed { pair } => match open.get_mut(pair) {
+                Some(n) => *n += 1,
+                None => violations.push(format!(
+                    "overload: seq {seq} pair {pair} shed an item outside an overload window"
+                )),
+            },
+            TraceEvent::OverloadCleared { pair, shed } => match open.remove(pair) {
+                Some(n) if n == *shed => {}
+                Some(n) => violations.push(format!(
+                    "overload: seq {seq} pair {pair} cleared reporting {shed} sheds, replay counted {n}"
+                )),
+                None => violations.push(format!(
+                    "overload: seq {seq} pair {pair} cleared without an open window"
+                )),
+            },
+            _ => {}
+        }
+    }
+    for (pair, n) in &open {
+        violations.push(format!(
+            "overload: pair {pair} window still open at end of trace ({n} sheds unledgered)"
         ));
     }
 }
@@ -859,6 +918,93 @@ mod tests {
             recover(0, "dropped_wakeup", 4, u64::MAX),
         ]));
         assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn shed_items_balance_conservation_inside_windows() {
+        let report = check(&log(vec![
+            TraceEvent::Produce { pair: 0 },
+            TraceEvent::Produce { pair: 0 },
+            TraceEvent::OverloadEntered {
+                pair: 0,
+                occupancy: 25,
+                escalated: false,
+            },
+            TraceEvent::ItemShed { pair: 0 },
+            TraceEvent::OverloadCleared { pair: 0, shed: 1 },
+            TraceEvent::Flush {
+                pair: 0,
+                drained: 1,
+            },
+        ]));
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn shed_outside_a_window_is_reported() {
+        let report = check(&log(vec![
+            TraceEvent::Produce { pair: 0 },
+            TraceEvent::ItemShed { pair: 0 },
+        ]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("outside an overload window")));
+    }
+
+    #[test]
+    fn overload_window_shed_mismatch_and_dangles_reported() {
+        let miscount = check(&log(vec![
+            TraceEvent::Produce { pair: 1 },
+            TraceEvent::OverloadEntered {
+                pair: 1,
+                occupancy: 10,
+                escalated: true,
+            },
+            TraceEvent::ItemShed { pair: 1 },
+            TraceEvent::OverloadCleared { pair: 1, shed: 2 },
+        ]));
+        assert!(miscount
+            .violations
+            .iter()
+            .any(|v| v.contains("reporting 2 sheds, replay counted 1")));
+
+        let dangling = check(&log(vec![TraceEvent::OverloadEntered {
+            pair: 3,
+            occupancy: 0,
+            escalated: false,
+        }]));
+        assert!(dangling
+            .violations
+            .iter()
+            .any(|v| v.contains("window still open at end of trace")));
+
+        let ghost = check(&log(vec![TraceEvent::OverloadCleared { pair: 5, shed: 0 }]));
+        assert!(ghost
+            .violations
+            .iter()
+            .any(|v| v.contains("cleared without an open window")));
+    }
+
+    #[test]
+    fn unshedded_lost_item_still_reported_with_windows_present() {
+        // A window alone must not excuse a genuinely lost item.
+        let report = check(&log(vec![
+            TraceEvent::Produce { pair: 0 },
+            TraceEvent::Produce { pair: 0 },
+            TraceEvent::OverloadEntered {
+                pair: 0,
+                occupancy: 1,
+                escalated: false,
+            },
+            TraceEvent::ItemShed { pair: 0 },
+            TraceEvent::OverloadCleared { pair: 0, shed: 1 },
+            // The second produced item is never consumed or flushed.
+        ]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("item conservation")));
     }
 
     #[test]

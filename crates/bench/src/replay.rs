@@ -23,7 +23,7 @@
 
 use crate::oracle::{self, CellMeta, TraceLine};
 use crate::sweep::trace_capacity_from_env;
-use pc_core::{Experiment, PbplConfig, StrategyKind};
+use pc_core::{Experiment, OverloadConfig, PbplConfig, StrategyKind};
 use pc_faults::{ExpandEnv, FaultPlan, FaultScenario};
 use pc_sim::{SimDuration, SimTime};
 use pc_trace::{PlanetConfig, WorldCupConfig};
@@ -169,10 +169,22 @@ pub fn workload_by_name(name: &str) -> Option<Workload> {
     }
 }
 
+/// Whether a strategy label carries the `(overload)` suffix — the
+/// overload sweep's marker that the cell ran under
+/// [`OverloadConfig::standard`]. That config is canonical (derivable
+/// from the label alone), which is what keeps such cells replayable
+/// without new `CellMeta` fields.
+pub fn label_overloaded(label: &str) -> bool {
+    label.ends_with("(overload)")
+}
+
 /// Inverts the strategy display label (plus the exact `period_ns` for
 /// the periodic strategies — the label's microseconds are truncated).
+/// An `(overload)` suffix names the *base* strategy; the overload knob
+/// is applied separately by [`rerun_cell`] via [`label_overloaded`].
 pub fn rebuild_strategy(meta: &CellMeta) -> Result<StrategyKind, String> {
     let label = meta.strategy.as_str();
+    let label = label.strip_suffix("(overload)").unwrap_or(label);
     let period = || -> Result<SimDuration, String> {
         if meta.period_ns == 0 {
             return Err(format!(
@@ -221,6 +233,9 @@ pub fn rerun_cell(meta: &CellMeta) -> Result<TraceLog, String> {
         .seed(meta.seed)
         .buffer_capacity(meta.buffer as usize)
         .record_events(recorder.handle());
+    if label_overloaded(&meta.strategy) {
+        builder = builder.overload(OverloadConfig::standard());
+    }
     match workload_by_name(&meta.workload) {
         Some(Workload::WorldCup(cfg)) => builder = builder.trace(cfg),
         Some(Workload::Planet(mut cfg)) => {
@@ -403,9 +418,9 @@ pub fn fixture_dir() -> PathBuf {
 }
 
 /// The golden fixture cells: one canonical cell from each sweep family
-/// (suite, chaos, scale), on the quick workloads so the checked-in
-/// files stay small. The `events`/`dropped`/`digest` fields are
-/// prototypes — [`render_fixture`] fills them from the actual run.
+/// (suite, chaos, scale, overload), on the quick workloads so the
+/// checked-in files stay small. The `events`/`dropped`/`digest` fields
+/// are prototypes — [`render_fixture`] fills them from the actual run.
 pub fn fixture_defs() -> Vec<(&'static str, CellMeta)> {
     let proto = |experiment: &str,
                  strategy: &str,
@@ -476,6 +491,26 @@ pub fn fixture_defs() -> Vec<(&'static str, CellMeta)> {
                 30_000_000,
                 "planet_quick",
                 "",
+            ),
+        ),
+        // A flash crowd against overload-controlled PBPL: admission
+        // actually trips (the horizon is long enough for the surge to
+        // push service lag past the standard 50 ms deadline), so the
+        // fixture pins the shed path — `ItemShed` events, paired
+        // `OverloadEntered`/`OverloadCleared` windows and the
+        // shed-aware conservation law — byte-for-byte.
+        (
+            "overload_cell.jsonl",
+            proto(
+                "overload_flash_crowd",
+                "PBPL(overload)",
+                5,
+                2,
+                25,
+                11,
+                400_000_000,
+                "worldcup_quick",
+                "flash_crowd",
             ),
         ),
     ]
@@ -607,6 +642,47 @@ mod tests {
             "re-expanded plan must fire"
         );
         assert_eq!(log.digest(), rerun_cell(&m).unwrap().digest());
+    }
+
+    #[test]
+    fn overload_labels_rebuild_the_base_strategy_and_rerun_sheds() {
+        assert!(label_overloaded("PBPL(overload)"));
+        assert!(label_overloaded("BP(overload)"));
+        assert!(!label_overloaded("PBPL(degraded)"));
+        assert_eq!(
+            rebuild_strategy(&meta("PBPL(overload)", "")).unwrap(),
+            StrategyKind::pbpl_default()
+        );
+        assert_eq!(
+            rebuild_strategy(&meta("BP(overload)", "")).unwrap(),
+            StrategyKind::Bp
+        );
+
+        // The label alone is a complete recipe: rerun applies
+        // OverloadConfig::standard(), and under a flash crowd the
+        // admission controller actually sheds — deterministically.
+        // The cell needs to run long enough for the surge window to
+        // push service lag past the 50 ms standard deadline on this
+        // geometry (one dedicated core per pair).
+        let mut m = meta("PBPL(overload)", "flash_crowd");
+        m.duration_ns = 800_000_000;
+        let log = rerun_cell(&m).unwrap();
+        assert!(
+            log.events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEvent::ItemShed { .. })),
+            "flash crowd under overload control must shed"
+        );
+        assert_eq!(log.digest(), rerun_cell(&m).unwrap().digest());
+
+        // Same cell without the suffix must not shed (overload stays off).
+        let mut vanilla = meta("PBPL", "flash_crowd");
+        vanilla.duration_ns = 800_000_000;
+        let base = rerun_cell(&vanilla).unwrap();
+        assert!(!base
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEvent::ItemShed { .. })));
     }
 
     #[test]

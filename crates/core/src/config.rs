@@ -82,6 +82,96 @@ impl Default for DegradeConfig {
     }
 }
 
+/// Deadline-aware overload-control policy (DESIGN.md §15): a per-pair
+/// admission controller that sheds arrivals once the consumer's
+/// measured service lag exceeds the deadline, plus a strategy-agnostic
+/// fleet supervisor that kicks stuck pairs and escalates shedding
+/// fleet-wide under correlated overload.
+///
+/// Default-off and inert by construction: with `enabled == false` the
+/// simulation allocates no overload state, schedules no supervisor
+/// ticks and takes identical branches to a build without the subsystem
+/// — `results/suite.json`, `results/chaos.json`, `results/scale.json`
+/// and the golden fixtures are byte-identical either way.
+///
+/// All admission arithmetic is integer nanoseconds/counts, so shed
+/// decisions are bit-deterministic per seed. The admission test is
+/// *measured*, not estimated: an arrival's service lag is how far `now`
+/// trails the pair's service horizon (its consumer's busy spell or its
+/// core's, whichever ends later) — an item admitted while the lag
+/// already exceeds `deadline` cannot start service inside the deadline,
+/// so admitting it only manufactures a guaranteed miss. Admission trips
+/// when the lag exceeds `deadline` for `trip_arrivals` consecutive
+/// arrivals, and clears when it falls below `clear_pct`% of the
+/// deadline for `clear_arrivals` consecutive arrivals (the same
+/// trip/restore hysteresis shape as [`DegradeConfig`]). Buffered-but-
+/// unserved work that never occupies a core (a wedged consumer) is the
+/// supervisor's job, not admission's: see `stuck_ticks`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Master switch; when false every other knob is inert.
+    pub enabled: bool,
+    /// Response-latency deadline D an admitted item must still be able
+    /// to meet.
+    pub deadline: SimDuration,
+    /// Consecutive over-deadline arrivals that trip a pair into
+    /// overload.
+    pub trip_arrivals: u32,
+    /// Consecutive under-threshold arrivals that clear a pair's
+    /// overload window.
+    pub clear_arrivals: u32,
+    /// Clear threshold as a percentage of the deadline (hysteresis gap:
+    /// clearing requires the age estimate to drop well below the trip
+    /// point, not merely back to it).
+    pub clear_pct: u32,
+    /// Fleet-supervisor tick period.
+    pub supervisor_period: SimDuration,
+    /// Supervisor ticks without consume progress (while items are
+    /// buffered) after which a pair counts as stuck and gets an
+    /// emergency drain.
+    pub stuck_ticks: u32,
+    /// Percentage of pairs simultaneously in overload that escalates
+    /// shedding fleet-wide; de-escalation happens when the self-tripped
+    /// share falls below half this.
+    pub escalate_pct: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: false,
+            deadline: SimDuration::from_millis(100),
+            trip_arrivals: 4,
+            clear_arrivals: 8,
+            clear_pct: 50,
+            supervisor_period: SimDuration::from_millis(50),
+            stuck_ticks: 2,
+            escalate_pct: 50,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// The canonical enabled configuration used by the overload sweep.
+    /// Cells labelled `…(overload)` always run exactly this, which is
+    /// what lets the replay tooling rebuild an overload cell from its
+    /// strategy label alone (DESIGN.md §12, §15). The deadline sits at
+    /// 50 ms: comfortably above the latency a *healthy* batching
+    /// consumer accrues by design (PBPL holds items up to Δ = 25 ms per
+    /// slot, so nominal service lag peaks around one slot), yet far
+    /// below the unbounded busy-horizon lag a saturated core builds
+    /// once a correlated surge outruns it. The 10 ms supervisor tick
+    /// makes stuck detection react within a bench-length run.
+    pub fn standard() -> Self {
+        OverloadConfig {
+            enabled: true,
+            deadline: SimDuration::from_millis(50),
+            supervisor_period: SimDuration::from_millis(10),
+            ..OverloadConfig::default()
+        }
+    }
+}
+
 /// Configuration of the paper's algorithm (PBPL).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PbplConfig {
@@ -278,6 +368,26 @@ mod tests {
         assert!(cfg.latching && cfg.resizing);
         assert!(cfg.max_latency >= cfg.slot);
         assert!(!cfg.degrade.enabled, "degradation is opt-in");
+    }
+
+    #[test]
+    fn overload_is_opt_in_and_standard_is_canonical() {
+        let default = OverloadConfig::default();
+        assert!(!default.enabled, "overload control is opt-in");
+        let standard = OverloadConfig::standard();
+        assert!(standard.enabled);
+        // standard() is the single config behind every `…(overload)`
+        // label, so the sweep-relevant thresholds are pinned here: a
+        // silent change would invalidate recorded traces' replayability.
+        assert_eq!(standard.deadline, SimDuration::from_millis(50));
+        assert_eq!(standard.supervisor_period, SimDuration::from_millis(10));
+        assert_eq!(standard.trip_arrivals, default.trip_arrivals);
+        assert_eq!(standard.clear_arrivals, default.clear_arrivals);
+        assert_eq!(standard.clear_pct, default.clear_pct);
+        assert_eq!(standard.stuck_ticks, default.stuck_ticks);
+        assert_eq!(standard.escalate_pct, default.escalate_pct);
+        assert!(default.clear_pct < 100, "clear threshold below trip point");
+        assert!(default.deadline > SimDuration::ZERO);
     }
 
     #[test]

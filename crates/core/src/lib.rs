@@ -37,7 +37,7 @@ pub mod slot;
 pub mod strategy;
 pub mod system;
 
-pub use config::{PbplConfig, PredictorKind, StrategyKind};
+pub use config::{OverloadConfig, PbplConfig, PredictorKind, StrategyKind};
 pub use cost::{select_slot, CostModel, SlotChoice};
 pub use manager::{CoreManager, ReservationBook, ShardedCoreManager};
 pub use metrics::{PairMetrics, RunMetrics};

@@ -32,6 +32,18 @@ pub struct PairMetrics {
     pub overflow_wakeups: u64,
     /// Invocations triggered by item arrival (Mutex/Sem style).
     pub item_wakeups: u64,
+    /// Arrivals rejected by the admission controller (DESIGN.md §15).
+    /// Always 0 with overload control disabled; shed items still count
+    /// into `items_produced`, so conservation over a run is
+    /// `items_produced == items_consumed + items_shed`.
+    pub items_shed: u64,
+    /// Overload windows this pair entered (admission trips, including
+    /// supervisor escalations).
+    pub overload_windows: u64,
+    /// Consumed items whose response latency exceeded the overload
+    /// deadline. Only counted while overload control is enabled (the
+    /// deadline is undefined otherwise).
+    pub deadline_misses: u64,
     /// Sum of item response latencies (production → consumption).
     pub total_latency: SimDuration,
     /// Worst single-item latency.
@@ -66,6 +78,9 @@ impl PairMetrics {
             scheduled_wakeups: 0,
             overflow_wakeups: 0,
             item_wakeups: 0,
+            items_shed: 0,
+            overload_windows: 0,
+            deadline_misses: 0,
             total_latency: SimDuration::ZERO,
             max_latency: SimDuration::ZERO,
             capacity_sum: 0,
@@ -169,6 +184,9 @@ pub struct RunMetrics {
     pub items_consumed: u64,
     /// Total items produced across pairs.
     pub items_produced: u64,
+    /// Total arrivals shed by the admission controller (0 unless
+    /// overload control is enabled; see DESIGN.md §15).
+    pub items_shed: u64,
     /// PBPL only: slot deadlines the core managers actually dispatched
     /// (the paper's internally counted "upper bound" on scheduled CPU
     /// wakeups — one fire may serve a whole latch group). Zero for other
@@ -253,14 +271,20 @@ impl RunMetrics {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Sanity check: every produced item was consumed (the run drains
-    /// buffers at the end).
+    /// Total deadline misses across pairs (overload runs only).
+    pub fn deadline_misses(&self) -> u64 {
+        self.pairs.iter().map(|p| p.deadline_misses).sum()
+    }
+
+    /// Sanity check: every produced item was consumed or ledgered as
+    /// shed (the run drains buffers at the end; shed is 0 unless
+    /// overload control is enabled).
     pub fn all_items_consumed(&self) -> bool {
-        self.items_produced == self.items_consumed
+        self.items_produced == self.items_consumed + self.items_shed
             && self
                 .pairs
                 .iter()
-                .all(|p| p.items_produced == p.items_consumed)
+                .all(|p| p.items_produced == p.items_consumed + p.items_shed)
     }
 }
 

@@ -11,7 +11,7 @@
 //! finished core timelines then flow through `pc-power` for energy and
 //! PowerTop-style metrics.
 
-use crate::config::{PbplConfig, StrategyKind};
+use crate::config::{OverloadConfig, PbplConfig, StrategyKind};
 use crate::cost::{select_slot, CostModel};
 use crate::manager::ShardedCoreManager;
 use crate::metrics::{PairMetrics, RunMetrics};
@@ -51,6 +51,10 @@ enum Ev {
     FaultStart { f: usize },
     /// Fault `f`'s window closes; its effects are rolled back.
     FaultEnd { f: usize },
+    /// The fleet supervisor's periodic check fires (overload control
+    /// only, DESIGN.md §15). Never scheduled when overload control is
+    /// disabled, so default runs see no extra wheel traffic.
+    SupervisorTick,
 }
 
 /// What triggered a consumer invocation (for the §VI-C wakeup split).
@@ -148,6 +152,54 @@ struct FaultRuntime {
     squeezed: Vec<Vec<usize>>,
 }
 
+/// Per-pair admission-controller state (DESIGN.md §15). All integer
+/// arithmetic at integer sim-time: the decision sequence is a pure
+/// function of the arrival stream, never of wall-clock or float
+/// accumulation.
+struct AdmissionState {
+    /// Consecutive over-deadline arrivals (trip counter).
+    consec_over: u32,
+    /// Consecutive under-threshold arrivals (clear counter).
+    consec_under: u32,
+    /// Whether the pair is currently shedding.
+    in_overload: bool,
+    /// Whether the open window was forced by the fleet supervisor
+    /// (escalation) rather than tripped by this pair's own estimator.
+    escalated: bool,
+    /// Items shed in the open window; reported by `OverloadCleared` so
+    /// the oracle can cross-check it against the `ItemShed` count.
+    shed_in_window: u64,
+}
+
+impl AdmissionState {
+    fn new() -> Self {
+        AdmissionState {
+            consec_over: 0,
+            consec_under: 0,
+            in_overload: false,
+            escalated: false,
+            shed_in_window: 0,
+        }
+    }
+}
+
+/// Runtime state of the overload-control layer (DESIGN.md §15). Present
+/// only when [`OverloadConfig::enabled`] — disabled runs take the exact
+/// branches of a build without overload control, which is what keeps
+/// `suite.json`/`chaos.json`/`scale.json` byte-identical (the same
+/// `Option` inertness pattern as [`FaultRuntime`]).
+struct OverloadRuntime {
+    cfg: OverloadConfig,
+    admission: Vec<AdmissionState>,
+    /// Fleet-wide escalation latch: while set, per-pair windows cannot
+    /// clear (arrivals keep shedding) until the supervisor de-escalates.
+    fleet_shed: bool,
+    /// `items_consumed` per pair at the previous supervisor tick.
+    last_consumed: Vec<u64>,
+    /// Consecutive ticks without consume progress while items buffered.
+    stuck_ticks: Vec<u32>,
+}
+
 struct Sim {
     strategy: StrategyKind,
     power: PowerModel,
@@ -171,6 +223,8 @@ struct Sim {
     _pool: Option<Arc<GlobalPool>>,
     /// Active fault plan, `None` on zero-fault runs.
     faults: Option<FaultRuntime>,
+    /// Overload-control layer, `None` unless explicitly enabled.
+    overload: Option<OverloadRuntime>,
     /// Event-trace handle (disabled unless the builder attached one).
     trace: TraceHandle,
 }
@@ -418,6 +472,17 @@ impl Sim {
     ) -> SimTime {
         let core = self.pairs[i].core;
         let (_start, end) = self.occupy_core(core, now, work);
+        // Deadline misses are an overload-layer observable only; keep
+        // the counting branch out of default runs entirely.
+        if let Some(ol) = &self.overload {
+            let d = ol.cfg.deadline;
+            let misses = self
+                .scratch
+                .iter()
+                .filter(|&&p| end.saturating_since(p) > d)
+                .count() as u64;
+            self.pairs[i].metrics.deadline_misses += misses;
+        }
         let pair = &mut self.pairs[i];
         for k in 0..self.scratch.len() {
             pair.metrics.record_latency(self.scratch[k], end);
@@ -599,15 +664,18 @@ impl Sim {
         // Degraded mode (prediction-error watchdog, DESIGN.md §10): the
         // estimator is demonstrably underestimating, so size with a
         // boosted margin and never give capacity back until the exit
-        // criterion clears. Inert unless `degrade.enabled`.
-        let degraded = cfg.degrade.enabled && self.pairs[i].degraded;
+        // criterion clears. Inert unless `degrade.enabled` — or overload
+        // control is on, which reuses the watchdog as its degrade arm
+        // (DESIGN.md §15).
+        let watchdog = self.degrade_active(cfg.degrade.enabled);
+        let degraded = watchdog && self.pairs[i].degraded;
         let margin = if degraded {
             cfg.resize_margin * cfg.degrade.margin_boost
         } else {
             cfg.resize_margin
         };
         let allow_shrink = allow_shrink && !degraded;
-        if cfg.degrade.enabled {
+        if watchdog {
             if degraded {
                 // Degraded floor: reclaim the pair's base entitlement
                 // while the watchdog is tripped. A buffer shrunk to the
@@ -732,7 +800,7 @@ impl Sim {
                 let next_start = track.slot_start(track.next_slot_after(now) + 1);
                 let want = overrun_target(rate, now, next_start, margin);
                 let granted = buffer.grow_to(want);
-                if cfg.degrade.enabled && granted < want {
+                if watchdog && granted < want {
                     self.pairs[i].pending_grow = Some((want, cfg.degrade.grow_retries));
                 }
                 choice = select_slot(
@@ -793,7 +861,7 @@ impl Sim {
             .expect("PBPL consumer has a predictor")
             .observe(n, dt);
         let degrade = self.pbpl_config().expect("PBPL invoke").degrade;
-        if degrade.enabled {
+        if self.degrade_active(degrade.enabled) {
             // Prediction-error watchdog: consecutive overflows trip
             // degraded mode; consecutive scheduled wakes clear it.
             let pair = &mut self.pairs[i];
@@ -951,6 +1019,219 @@ impl Sim {
     }
 
     // ------------------------------------------------------------------
+    // Overload control (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Items currently buffered at the pair (backlog or batch buffer),
+    /// whichever the strategy uses.
+    fn occupancy(&self, i: usize) -> u64 {
+        let pair = &self.pairs[i];
+        pair.backlog.len() as u64 + pair.buffer.as_ref().map_or(0, |b| b.len() as u64)
+    }
+
+    /// Whether PBPL's prediction-error watchdog machinery is live. The
+    /// overload layer reuses it as its degrade arm (ISSUE: "degrade for
+    /// any strategy"): enabling overload control activates the watchdog
+    /// with the strategy's `DegradeConfig` knobs even when
+    /// `degrade.enabled` is false. Inert when overload is `None`.
+    fn degrade_active(&self, degrade_enabled: bool) -> bool {
+        degrade_enabled || self.overload.is_some()
+    }
+
+    /// How far behind the pair's consumer is at `now`: the gap from
+    /// `now` to its service horizon — the later of the consumer's own
+    /// busy spell (item-driven strategies) and its core's busy horizon
+    /// (batching strategies occupy the core directly). Zero whenever the
+    /// consumer could start serving a new item immediately, which is the
+    /// healthy steady state under any sustainable load.
+    fn service_lag_ns(&self, i: usize, now: SimTime) -> u64 {
+        let pair = &self.pairs[i];
+        let horizon = pair.busy_until.max(self.core_busy_until[pair.core]);
+        horizon.saturating_since(now).as_nanos()
+    }
+
+    /// Admission decision for one arrival (only called when overload
+    /// control is enabled). Applies the trip/clear hysteresis over the
+    /// measured service lag, emits the window-edge events, and returns
+    /// whether the item is admitted. An item admitted while the lag
+    /// already exceeds the deadline cannot *start* service inside the
+    /// deadline — shedding it sheds a guaranteed miss, never viable
+    /// work.
+    fn overload_admit(&mut self, i: usize, t: SimTime) -> bool {
+        let occupancy = self.occupancy(i);
+        let lag_ns = self.service_lag_ns(i, t);
+        let ol = self.overload.as_mut().expect("admission requires overload");
+        let cfg = ol.cfg;
+        let fleet_shed = ol.fleet_shed;
+        let st = &mut ol.admission[i];
+        let deadline_ns = cfg.deadline.as_nanos();
+        if st.in_overload {
+            // Clear hysteresis: the lag must sit well below the
+            // deadline (clear_pct of it) for clear_arrivals consecutive
+            // arrivals. A *self-tripped* window clears on that measured
+            // recovery alone — holding it hostage to the fleet latch
+            // would deadlock (de-escalation needs the self-tripped
+            // share to fall, which needs clears). Only *escalated*
+            // windows stay latched while the fleet sheds: their pairs
+            // never tripped, so their low lag says nothing about the
+            // correlated overload that opened them.
+            let under = lag_ns <= deadline_ns.saturating_mul(cfg.clear_pct as u64) / 100;
+            if under {
+                st.consec_under += 1;
+            } else {
+                st.consec_under = 0;
+            }
+            if st.consec_under >= cfg.clear_arrivals && !(fleet_shed && st.escalated) {
+                st.in_overload = false;
+                st.escalated = false;
+                st.consec_under = 0;
+                st.consec_over = 0;
+                let shed = std::mem::take(&mut st.shed_in_window);
+                self.trace.record(|| TraceEvent::OverloadCleared {
+                    pair: i as u32,
+                    shed,
+                });
+                true
+            } else {
+                st.shed_in_window += 1;
+                false
+            }
+        } else {
+            let over = lag_ns > deadline_ns;
+            if over {
+                st.consec_over += 1;
+            } else {
+                st.consec_over = 0;
+            }
+            if st.consec_over >= cfg.trip_arrivals {
+                st.in_overload = true;
+                st.escalated = false;
+                st.consec_over = 0;
+                st.consec_under = 0;
+                // The tripping arrival itself is shed.
+                st.shed_in_window = 1;
+                self.pairs[i].metrics.overload_windows += 1;
+                self.trace.record(|| TraceEvent::OverloadEntered {
+                    pair: i as u32,
+                    occupancy,
+                    escalated: false,
+                });
+                false
+            } else {
+                true
+            }
+        }
+    }
+
+    /// Fleet-supervisor tick: detect stuck pairs (no consume progress
+    /// across `stuck_ticks` ticks while items sit buffered) and kick
+    /// them with a strategy-appropriate emergency drain; escalate
+    /// shedding fleet-wide when the self-tripped share reaches
+    /// `escalate_pct` of the fleet, de-escalate at half that.
+    fn supervisor_tick(&mut self, now: SimTime) {
+        let m = self.pairs.len();
+        let mut stuck: Vec<usize> = Vec::new();
+        let mut tripped = 0usize;
+        let Some(ol) = self.overload.as_mut() else {
+            return;
+        };
+        let cfg = ol.cfg;
+        for i in 0..m {
+            let pair = &self.pairs[i];
+            let occupancy =
+                pair.backlog.len() as u64 + pair.buffer.as_ref().map_or(0, |b| b.len() as u64);
+            let consumed = pair.metrics.items_consumed;
+            if occupancy > 0 && consumed == ol.last_consumed[i] {
+                ol.stuck_ticks[i] += 1;
+            } else {
+                ol.stuck_ticks[i] = 0;
+            }
+            ol.last_consumed[i] = consumed;
+            if ol.stuck_ticks[i] >= cfg.stuck_ticks {
+                ol.stuck_ticks[i] = 0;
+                stuck.push(i);
+            }
+            let st = &ol.admission[i];
+            if st.in_overload && !st.escalated {
+                tripped += 1;
+            }
+        }
+        // Correlated-overload escalation. Only self-tripped windows
+        // count toward the census, so escalation cannot sustain itself;
+        // the latch opens again once the underlying overload drains.
+        if !ol.fleet_shed && m > 1 && tripped * 100 >= cfg.escalate_pct as usize * m {
+            ol.fleet_shed = true;
+            for i in 0..m {
+                let st = &mut ol.admission[i];
+                if !st.in_overload {
+                    st.in_overload = true;
+                    st.escalated = true;
+                    st.consec_over = 0;
+                    st.consec_under = 0;
+                    st.shed_in_window = 0;
+                    let occupancy = self.pairs[i].backlog.len() as u64
+                        + self.pairs[i].buffer.as_ref().map_or(0, |b| b.len() as u64);
+                    self.pairs[i].metrics.overload_windows += 1;
+                    self.trace.record(|| TraceEvent::OverloadEntered {
+                        pair: i as u32,
+                        occupancy,
+                        escalated: true,
+                    });
+                }
+            }
+        } else if ol.fleet_shed && tripped * 100 * 2 < cfg.escalate_pct as usize * m {
+            ol.fleet_shed = false;
+            for i in 0..m {
+                let st = &mut ol.admission[i];
+                if st.in_overload && st.escalated {
+                    st.in_overload = false;
+                    st.escalated = false;
+                    st.consec_over = 0;
+                    st.consec_under = 0;
+                    let shed = std::mem::take(&mut st.shed_in_window);
+                    self.trace.record(|| TraceEvent::OverloadCleared {
+                        pair: i as u32,
+                        shed,
+                    });
+                }
+            }
+        }
+        // Emergency drains for stuck pairs. Strategy-agnostic: whatever
+        // the pair buffers gets force-dispatched now; PBPL additionally
+        // trips its degrade watchdog so subsequent plans run with the
+        // boosted margin and emergency rebalance.
+        for i in stuck {
+            match self.strategy {
+                StrategyKind::Mutex | StrategyKind::Sem => {
+                    let pair = &self.pairs[i];
+                    if !pair.backlog.is_empty() && !pair.drain_pending && now >= pair.busy_until {
+                        let pair = &mut self.pairs[i];
+                        pair.metrics.item_wakeups += 1;
+                        pair.metrics.invocations += 1;
+                        self.item_drain(i, now);
+                    }
+                }
+                StrategyKind::Bp | StrategyKind::Pbp { .. } | StrategyKind::Spbp { .. } => {
+                    if self.pairs[i].buffer.as_ref().is_some_and(|b| !b.is_empty()) {
+                        self.batch_drain(i, now, Trigger::Overflow);
+                    }
+                }
+                StrategyKind::Pbpl(_) => {
+                    if self.pairs[i].buffer.as_ref().is_some_and(|b| !b.is_empty()) {
+                        self.pairs[i].degraded = true;
+                        self.pbpl_invoke(i, now, Trigger::Overflow);
+                    }
+                }
+                StrategyKind::BusyWait | StrategyKind::Yield => {}
+            }
+        }
+        let next = now.saturating_add(cfg.supervisor_period);
+        if next < self.end {
+            self.engine.schedule_at(next, Ev::SupervisorTick);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Driver
     // ------------------------------------------------------------------
 
@@ -969,6 +1250,19 @@ impl Sim {
         self.pairs[pair].metrics.items_produced += 1;
         self.trace
             .record(|| TraceEvent::Produce { pair: pair as u32 });
+        // Admission control (DESIGN.md §15): a shed item still counts as
+        // produced (the `Produce` event above already fired) but never
+        // reaches the strategy — conservation becomes
+        // `produced == consumed + shed`. The calendar pop ledger is
+        // untouched: the arrival was popped either way, and the next one
+        // is scheduled below exactly as for an admitted item.
+        if self.overload.is_some() && !self.overload_admit(pair, t) {
+            self.pairs[pair].metrics.items_shed += 1;
+            self.trace
+                .record(|| TraceEvent::ItemShed { pair: pair as u32 });
+            self.schedule_next_produce(pair);
+            return;
+        }
         match self.strategy {
             StrategyKind::BusyWait | StrategyKind::Yield => self.busy_produce(pair, t),
             StrategyKind::Mutex | StrategyKind::Sem => self.item_produce(pair, t),
@@ -995,6 +1289,10 @@ impl Sim {
             }
             Ev::FaultStart { f } => self.fault_start(f),
             Ev::FaultEnd { f } => self.fault_end(f),
+            Ev::SupervisorTick => {
+                let now = self.engine.now();
+                self.supervisor_tick(now);
+            }
         }
     }
 
@@ -1020,6 +1318,14 @@ impl Sim {
                         self.engine.schedule_at(end, Ev::FaultEnd { f });
                     }
                 }
+            }
+        }
+        // Fleet supervisor: one periodic wheel event, armed only when
+        // overload control is enabled — default runs never see it.
+        if let Some(ol) = &self.overload {
+            let first = SimTime::ZERO.saturating_add(ol.cfg.supervisor_period);
+            if first < self.end {
+                self.engine.schedule_at(first, Ev::SupervisorTick);
             }
         }
         // Strategy-specific setup.
@@ -1084,9 +1390,29 @@ impl Sim {
             }
         }
 
+        // Overload windows still open at end-of-run force-clear now,
+        // before the flush: every `OverloadEntered` gets its matching
+        // `OverloadCleared` and the per-window shed tally closes
+        // (mirrors the fault force-recovery above).
+        if let Some(ol) = self.overload.as_mut() {
+            for i in 0..ol.admission.len() {
+                let st = &mut ol.admission[i];
+                if st.in_overload {
+                    st.in_overload = false;
+                    st.escalated = false;
+                    let shed = std::mem::take(&mut st.shed_in_window);
+                    self.trace.record(|| TraceEvent::OverloadCleared {
+                        pair: i as u32,
+                        shed,
+                    });
+                }
+            }
+        }
+
         // End-of-run flush: account for items still buffered so the
-        // conservation invariant (produced == consumed) holds. No wakeups
-        // or core spans are charged — the run is over.
+        // conservation invariant (produced == consumed + shed) holds. No
+        // wakeups or core spans are charged — the run is over.
+        let deadline = self.overload.as_ref().map(|ol| ol.cfg.deadline);
         for (i, pair) in self.pairs.iter_mut().enumerate() {
             let mut leftovers = Vec::new();
             pair.backlog.drain(..).for_each(|t| leftovers.push(t));
@@ -1096,6 +1422,13 @@ impl Sim {
             if !leftovers.is_empty() {
                 for &t in &leftovers {
                     pair.metrics.record_latency(t, self.end);
+                }
+                if let Some(d) = deadline {
+                    let end = self.end;
+                    pair.metrics.deadline_misses += leftovers
+                        .iter()
+                        .filter(|&&t| end.saturating_since(t) > d)
+                        .count() as u64;
                 }
                 pair.metrics.items_consumed += leftovers.len() as u64;
                 self.trace.record(|| TraceEvent::Flush {
@@ -1119,7 +1452,12 @@ impl Sim {
         let meter = Meter::aggregate(&reports);
         let items_consumed = self.pairs.iter().map(|p| p.metrics.items_consumed).sum();
         let items_produced = self.pairs.iter().map(|p| p.metrics.items_produced).sum();
-        let scheduler = self.engine.queue_stats();
+        let items_shed: u64 = self.pairs.iter().map(|p| p.metrics.items_shed).sum();
+        let mut scheduler = self.engine.queue_stats();
+        // Stamped by the Sim at teardown, like the engine stamps the
+        // arrival-calendar counters: sheds happen after the pop, so they
+        // sit outside the ledger equation but ride the same struct.
+        scheduler.items_shed = items_shed;
         // Every scheduled event (wheel + calendar) must be accounted for:
         // popped, cancelled, or still pending at teardown (events past
         // `end`, e.g. a DrainDone continuation of the final drain).
@@ -1137,6 +1475,7 @@ impl Sim {
             meter,
             items_consumed,
             items_produced,
+            items_shed,
             slot_fires,
             scheduler,
         }
@@ -1198,6 +1537,7 @@ pub struct ExperimentBuilder {
     trace_events: TraceHandle,
     faults: FaultPlan,
     shards: usize,
+    overload: OverloadConfig,
 }
 
 impl Default for ExperimentBuilder {
@@ -1217,6 +1557,7 @@ impl Default for ExperimentBuilder {
             trace_events: TraceHandle::disabled(),
             faults: FaultPlan::empty(),
             shards: 1,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -1342,6 +1683,19 @@ impl ExperimentBuilder {
     /// build without fault injection.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Configures the overload-control layer (DESIGN.md §15): deadline-
+    /// aware admission with ledgered load shedding, plus the fleet
+    /// supervisor. The default (`enabled: false`) is the hard-required
+    /// inert path: runs are bit-identical to a build without the layer,
+    /// and no `ItemShed`/`OverloadEntered`/`OverloadCleared` events can
+    /// appear. When enabled, conservation weakens to
+    /// `produced == consumed + shed` and PBPL's degrade watchdog runs
+    /// regardless of `degrade.enabled`.
+    pub fn overload(mut self, cfg: OverloadConfig) -> Self {
+        self.overload = cfg;
         self
     }
 
@@ -1529,6 +1883,13 @@ impl ExperimentBuilder {
                 swallowed: vec![0; self.cores],
                 squeezed: vec![vec![0; pool_shards]; self.faults.len()],
                 faults: self.faults.faults().to_vec(),
+            }),
+            overload: self.overload.enabled.then(|| OverloadRuntime {
+                cfg: self.overload,
+                admission: (0..self.pairs).map(|_| AdmissionState::new()).collect(),
+                fleet_shed: false,
+                last_consumed: vec![0; self.pairs],
+                stuck_ticks: vec![0; self.pairs],
             }),
             trace: self.trace_events,
         };
@@ -1871,5 +2232,176 @@ mod tests {
         };
         let m = quick(StrategyKind::Pbpl(cfg));
         assert!(m.all_items_consumed());
+    }
+
+    /// A trace dense enough to trip the admission controller: one item
+    /// every 1 µs for `ms` milliseconds, per pair — with every pair on
+    /// one shared core, the drain work alone outruns the core and the
+    /// service lag climbs without bound.
+    fn flood_traces(pairs: usize, ms: u64) -> Vec<Trace> {
+        let horizon = SimTime::from_millis(ms);
+        (0..pairs)
+            .map(|_| {
+                let times = (0..(ms * 1_000))
+                    .map(|k| SimTime::from_nanos(k * 1_000 + 1))
+                    .collect();
+                Trace::new(times, horizon)
+            })
+            .collect()
+    }
+
+    fn overload_run(strategy: StrategyKind, cfg: OverloadConfig) -> RunMetrics {
+        Experiment::builder()
+            .pairs(2)
+            .cores(1)
+            .duration(SimDuration::from_millis(50))
+            .strategy(strategy)
+            .traces(flood_traces(2, 50))
+            .seed(11)
+            .buffer_capacity(25)
+            .overload(cfg)
+            .run()
+    }
+
+    /// Overload knobs tight enough that a 2-pairs-on-1-core 100 k
+    /// items/s flood (whose drains keep the shared core lagging behind
+    /// the arrivals) trips admission within the run.
+    fn tight_overload() -> OverloadConfig {
+        OverloadConfig {
+            deadline: SimDuration::from_micros(100),
+            supervisor_period: SimDuration::from_millis(5),
+            ..OverloadConfig::standard()
+        }
+    }
+
+    #[test]
+    fn overload_disabled_is_inert() {
+        // An explicitly-disabled overload config with aggressive knobs
+        // must be bit-identical to the builder default — the enabled
+        // flag alone decides whether the layer exists.
+        let base = quick(StrategyKind::pbpl_default());
+        let disabled = Experiment::builder()
+            .pairs(2)
+            .cores(2)
+            .duration(SimDuration::from_millis(200))
+            .strategy(StrategyKind::pbpl_default())
+            .trace(WorldCupConfig::quick_test())
+            .seed(7)
+            .buffer_capacity(25)
+            .overload(OverloadConfig {
+                enabled: false,
+                deadline: SimDuration::from_nanos(1),
+                trip_arrivals: 1,
+                ..OverloadConfig::default()
+            })
+            .run();
+        assert_eq!(
+            base.energy.energy_j.to_bits(),
+            disabled.energy.energy_j.to_bits()
+        );
+        assert_eq!(base.items_consumed, disabled.items_consumed);
+        assert_eq!(base.items_shed, 0);
+        assert_eq!(disabled.items_shed, 0);
+        assert_eq!(base.scheduler, disabled.scheduler);
+    }
+
+    #[test]
+    fn overload_sheds_and_ledger_balances() {
+        for strategy in [StrategyKind::Bp, StrategyKind::pbpl_default()] {
+            let m = overload_run(strategy.clone(), tight_overload());
+            assert!(
+                m.items_shed > 0,
+                "{}: flood should shed under a 100 µs deadline",
+                strategy.name()
+            );
+            assert!(
+                m.all_items_consumed(),
+                "{}: produced {} != consumed {} + shed {}",
+                strategy.name(),
+                m.items_produced,
+                m.items_consumed,
+                m.items_shed
+            );
+            assert_eq!(
+                m.scheduler.items_shed, m.items_shed,
+                "scheduler stamp must match the metric total"
+            );
+            assert!(m.scheduler.ledger_balanced());
+            // Determinism: same seed, same shed count.
+            let again = overload_run(strategy, tight_overload());
+            assert_eq!(m.items_shed, again.items_shed);
+        }
+    }
+
+    #[test]
+    fn overload_events_pair_up_and_account_sheds() {
+        use pc_trace_events::Recorder;
+        let recorder = Recorder::bounded(1 << 20);
+        let m = Experiment::builder()
+            .pairs(2)
+            .cores(1)
+            .duration(SimDuration::from_millis(50))
+            .strategy(StrategyKind::Bp)
+            .traces(flood_traces(2, 50))
+            .seed(11)
+            .buffer_capacity(25)
+            .overload(tight_overload())
+            .record_events(recorder.handle())
+            .run();
+        let log = recorder.take();
+        let mut entered = 0u64;
+        let mut cleared = 0u64;
+        let mut shed_events = 0u64;
+        let mut shed_reported = 0u64;
+        let mut open = std::collections::BTreeSet::new();
+        for ev in &log.events {
+            match ev.kind {
+                TraceEvent::OverloadEntered { pair, .. } => {
+                    assert!(open.insert(pair), "pair {pair} entered twice");
+                    entered += 1;
+                }
+                TraceEvent::OverloadCleared { pair, shed } => {
+                    assert!(open.remove(&pair), "pair {pair} cleared while closed");
+                    cleared += 1;
+                    shed_reported += shed;
+                }
+                TraceEvent::ItemShed { pair } => {
+                    assert!(open.contains(&pair), "shed outside a window");
+                    shed_events += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(entered > 0, "flood should open at least one window");
+        assert_eq!(entered, cleared, "every window must close by teardown");
+        assert!(open.is_empty());
+        assert_eq!(shed_events, m.items_shed);
+        assert_eq!(
+            shed_reported, m.items_shed,
+            "window tallies must cover all sheds"
+        );
+        let window_total: u64 = m.pairs.iter().map(|p| p.overload_windows).sum();
+        assert_eq!(window_total, entered);
+    }
+
+    #[test]
+    fn overload_conserves_for_every_strategy() {
+        for s in all_strategies() {
+            let m = overload_run(s.clone(), tight_overload());
+            assert!(
+                m.all_items_consumed(),
+                "{}: produced {} consumed {} shed {}",
+                s.name(),
+                m.items_produced,
+                m.items_consumed,
+                m.items_shed
+            );
+            assert!(
+                m.scheduler.ledger_balanced(),
+                "{}: {:?}",
+                s.name(),
+                m.scheduler
+            );
+        }
     }
 }

@@ -165,10 +165,27 @@ pub enum FaultScenario {
     PoolSqueeze,
     /// One of each fault kind, staggered across the horizon.
     Chaos,
+    /// Correlated overload: *every* producer rate-shocks 4–6×
+    /// simultaneously in one shared mid-run window — the flash-crowd
+    /// shape the fleet supervisor's escalation exists for
+    /// (DESIGN.md §15).
+    FlashCrowd,
+    /// Correlated capacity loss: three staggered, overlapping pool
+    /// squeezes of 25–40% each, so the pool drains in waves instead of
+    /// one step.
+    CascadingSqueeze,
 }
 
 impl FaultScenario {
-    /// Every scenario, in canonical (output) order.
+    /// Every *chaos-sweep* scenario, in canonical (output) order.
+    ///
+    /// The correlated overload scenarios ([`FaultScenario::FlashCrowd`],
+    /// [`FaultScenario::CascadingSqueeze`]) are deliberately excluded:
+    /// the chaos sweep's grid — and therefore `chaos.json` and its
+    /// golden digests — is pinned to this list (the same precedent that
+    /// keeps [`FaultKind::PoolSqueezeShard`] out of the generators).
+    /// They are reachable via [`Self::correlated`], the overload sweep,
+    /// and [`Self::from_name`].
     pub fn all() -> [FaultScenario; 8] {
         [
             FaultScenario::Baseline,
@@ -182,6 +199,12 @@ impl FaultScenario {
         ]
     }
 
+    /// The correlated overload scenarios (overload sweep only; not part
+    /// of [`Self::all`]).
+    pub fn correlated() -> [FaultScenario; 2] {
+        [FaultScenario::FlashCrowd, FaultScenario::CascadingSqueeze]
+    }
+
     /// Stable display / filter name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -193,13 +216,20 @@ impl FaultScenario {
             FaultScenario::DroppedWakeup => "dropped_wakeup",
             FaultScenario::PoolSqueeze => "pool_squeeze",
             FaultScenario::Chaos => "chaos",
+            FaultScenario::FlashCrowd => "flash_crowd",
+            FaultScenario::CascadingSqueeze => "cascading_squeeze",
         }
     }
 
     /// Inverse of [`Self::name`], used by trace replay to re-expand a
     /// recorded cell's fault plan from its `CellMeta` scenario field.
+    /// Covers the correlated scenarios too, so overload-sweep exports
+    /// replay even though [`Self::all`] excludes them.
     pub fn from_name(name: &str) -> Option<FaultScenario> {
-        FaultScenario::all().into_iter().find(|s| s.name() == name)
+        FaultScenario::all()
+            .into_iter()
+            .chain(FaultScenario::correlated())
+            .find(|s| s.name() == name)
     }
 }
 
@@ -250,6 +280,11 @@ impl FaultPlan {
             return FaultPlan::empty();
         }
         let mut rng = SimRng::new(seed ^ fnv1a(scenario.name().as_bytes()));
+        match scenario {
+            FaultScenario::FlashCrowd => return expand_flash_crowd(&mut rng, env),
+            FaultScenario::CascadingSqueeze => return expand_cascading_squeeze(&mut rng, env),
+            _ => {}
+        }
         let kinds: Vec<fn(&mut SimRng, &ExpandEnv) -> FaultKind> = match scenario {
             FaultScenario::Baseline => unreachable!(),
             FaultScenario::RateShock => vec![gen_rate_shock],
@@ -266,6 +301,9 @@ impl FaultPlan {
                 gen_dropped_wakeup,
                 gen_pool_squeeze,
             ],
+            FaultScenario::FlashCrowd | FaultScenario::CascadingSqueeze => {
+                unreachable!("expanded above")
+            }
         };
         let lanes = kinds.len() as u64;
         let mut faults = Vec::with_capacity(kinds.len());
@@ -379,6 +417,73 @@ fn gen_pool_squeeze(rng: &mut SimRng, env: &ExpandEnv) -> FaultKind {
     }
 }
 
+/// Flash crowd: one shared window 30–40% into the run, 25–35% of the
+/// horizon long, in which *every* producer rate-shocks 4–6× while
+/// *every* consumer's service time inflates 30–50× (the surge evicts
+/// working sets and convoys the serving side onto its slow path — the
+/// degradation that turns a flash crowd into genuine overload rather
+/// than a burst the drains absorb: combined demand exceeds a dedicated
+/// core). All pairs share the window edges — the correlation is the
+/// point.
+fn expand_flash_crowd(rng: &mut SimRng, env: &ExpandEnv) -> FaultPlan {
+    let h = env.horizon_ns;
+    let start_ns = h * 3 / 10 + rng.next_below(h / 10 + 1);
+    let dur = h / 4 + rng.next_below(h / 10 + 1);
+    let end_ns = (start_ns + dur).min(h.saturating_sub(1));
+    if end_ns <= start_ns {
+        return FaultPlan::empty();
+    }
+    let pairs = env.pairs.max(1);
+    let mut faults: Vec<Fault> = (0..pairs)
+        .map(|p| Fault {
+            id: p,
+            start_ns,
+            end_ns,
+            kind: FaultKind::RateShock {
+                pair: p,
+                factor_x1000: 4000 + 500 * rng.next_below(5) as u32,
+            },
+        })
+        .collect();
+    faults.extend((0..pairs).map(|p| Fault {
+        id: pairs + p,
+        start_ns,
+        end_ns,
+        kind: FaultKind::ConsumerSlowdown {
+            pair: p,
+            factor_x1000: 30000 + 5000 * rng.next_below(5) as u32,
+        },
+    }));
+    FaultPlan::new(faults)
+}
+
+/// Cascading squeeze: three pool squeezes of 25–40% each whose windows
+/// are staggered one sixth of the horizon apart but last about two
+/// sixths, so each wave lands before the previous one recovers.
+fn expand_cascading_squeeze(rng: &mut SimRng, env: &ExpandEnv) -> FaultPlan {
+    let h = env.horizon_ns;
+    let step = h / 6;
+    let mut faults = Vec::new();
+    for k in 0..3u64 {
+        let start_ns = h / 5 + k * step + rng.next_below(step / 4 + 1);
+        let dur = step * 2 + rng.next_below(step / 2 + 1);
+        let end_ns = (start_ns + dur).min(h.saturating_sub(1));
+        if end_ns <= start_ns {
+            continue;
+        }
+        let frac = 25 + rng.next_below(16); // 25–40% of the pool each
+        faults.push(Fault {
+            id: k as u32,
+            start_ns,
+            end_ns,
+            kind: FaultKind::PoolSqueeze {
+                units: (env.pool_total * frac / 100) as u32,
+            },
+        });
+    }
+    FaultPlan::new(faults)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +533,70 @@ mod tests {
         }
         let chaos = FaultPlan::expand(FaultScenario::Chaos, 13, &e);
         assert_eq!(chaos.len(), 6, "one fault per kind");
+    }
+
+    #[test]
+    fn correlated_scenarios_stay_out_of_the_chaos_grid() {
+        // `all()` is pinned to 8: chaos.json's grid (and its digests)
+        // depend on it. The correlated scenarios resolve by name only.
+        assert_eq!(FaultScenario::all().len(), 8);
+        for sc in FaultScenario::correlated() {
+            assert!(!FaultScenario::all().contains(&sc));
+            assert_eq!(FaultScenario::from_name(sc.name()), Some(sc));
+        }
+    }
+
+    #[test]
+    fn flash_crowd_shocks_every_pair_in_one_shared_window() {
+        let e = env();
+        let plan = FaultPlan::expand(FaultScenario::FlashCrowd, 7, &e);
+        assert_eq!(plan.len(), 2 * e.pairs as usize);
+        let first = plan.faults()[0];
+        let mut shocked = std::collections::BTreeSet::new();
+        let mut slowed = std::collections::BTreeSet::new();
+        for f in plan.faults() {
+            assert_eq!((f.start_ns, f.end_ns), (first.start_ns, first.end_ns));
+            assert!(f.end_ns < e.horizon_ns);
+            match f.kind {
+                FaultKind::RateShock { pair, factor_x1000 } => {
+                    assert!((4000..=6000).contains(&factor_x1000));
+                    shocked.insert(pair);
+                }
+                FaultKind::ConsumerSlowdown { pair, factor_x1000 } => {
+                    assert!((30000..=50000).contains(&factor_x1000));
+                    slowed.insert(pair);
+                }
+                other => panic!("flash crowd = shock + slowdown, got {other:?}"),
+            }
+        }
+        assert_eq!(shocked.len(), e.pairs as usize, "every producer surges");
+        assert_eq!(slowed.len(), e.pairs as usize, "every consumer degrades");
+        assert_eq!(
+            plan,
+            FaultPlan::expand(FaultScenario::FlashCrowd, 7, &e),
+            "deterministic per seed"
+        );
+    }
+
+    #[test]
+    fn cascading_squeeze_windows_overlap_in_waves() {
+        let e = env();
+        let plan = FaultPlan::expand(FaultScenario::CascadingSqueeze, 7, &e);
+        assert_eq!(plan.len(), 3);
+        for w in plan.faults().windows(2) {
+            assert!(
+                w[1].start_ns < w[0].end_ns,
+                "each wave must land before the previous recovers"
+            );
+        }
+        for f in plan.faults() {
+            match f.kind {
+                FaultKind::PoolSqueeze { units } => {
+                    assert!((25..=40).contains(&(units as u64 * 100 / e.pool_total)));
+                }
+                other => panic!("cascading squeeze emits pool squeezes only, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct PairCounters {
     latency_sum_ns: AtomicU64,
     /// Maximum item latency, nanoseconds.
     latency_max_ns: AtomicU64,
+    /// Items refused by admission control (overload shedding,
+    /// DESIGN.md §15). Zero unless a strategy sheds.
+    items_shed: AtomicU64,
+    /// Overload windows opened on this pair (admission trips).
+    overload_windows: AtomicU64,
 }
 
 impl PairCounters {
@@ -65,6 +70,16 @@ impl PairCounters {
         }
     }
 
+    /// Records items refused by admission control.
+    pub fn add_shed(&self, n: u64) {
+        self.items_shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one admission trip (an overload window opening).
+    pub fn add_overload_window(&self) {
+        self.overload_windows.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one item's latency.
     pub fn add_latency(&self, produced_at: Instant, consumed_at: Instant) {
         let ns = consumed_at
@@ -95,6 +110,8 @@ impl PairCounters {
             busy: SimDuration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
             latency_sum: SimDuration::from_nanos(self.latency_sum_ns.load(Ordering::Relaxed)),
             latency_max: SimDuration::from_nanos(self.latency_max_ns.load(Ordering::Relaxed)),
+            items_shed: self.items_shed.load(Ordering::Relaxed),
+            overload_windows: self.overload_windows.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,6 +150,10 @@ pub struct PairStats {
     pub latency_sum: SimDuration,
     /// Worst item latency.
     pub latency_max: SimDuration,
+    /// Items refused by admission control (zero unless shedding).
+    pub items_shed: u64,
+    /// Overload windows opened (admission trips).
+    pub overload_windows: u64,
 }
 
 impl PairStats {
@@ -166,6 +187,19 @@ mod tests {
         assert_eq!(s.invocations, 2);
         assert_eq!(s.scheduled, 1);
         assert_eq!(s.overflows, 1);
+    }
+
+    #[test]
+    fn shed_and_admission_counters_accumulate() {
+        let c = PairCounters::new();
+        assert_eq!(c.snapshot().items_shed, 0);
+        assert_eq!(c.snapshot().overload_windows, 0);
+        c.add_shed(3);
+        c.add_shed(2);
+        c.add_overload_window();
+        let s = c.snapshot();
+        assert_eq!(s.items_shed, 5);
+        assert_eq!(s.overload_windows, 1);
     }
 
     #[test]

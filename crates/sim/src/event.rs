@@ -90,6 +90,14 @@ pub struct QueueStats {
     /// stats count the events it scheduled but never processed (e.g. a
     /// `DrainDone` whose drain window outlives the horizon).
     pub pending_at_teardown: u64,
+    /// Arrivals shed by the admission controller (DESIGN.md §15).
+    /// Zero for a bare [`EventQueue`] and for every run with overload
+    /// control disabled; stamped by the simulation at teardown. A shed
+    /// arrival was still *popped* from the calendar — the rejection
+    /// happens in the produce handler after the pop — so this counter
+    /// sits outside the [`ledger_balanced`](Self::ledger_balanced)
+    /// equation and the ledger closes with or without sheds.
+    pub items_shed: u64,
 }
 
 impl QueueStats {

@@ -175,6 +175,9 @@ impl ModelConfig {
                     pair_seen(*pair, &mut pairs);
                     core_seen(*core, &mut cores);
                 }
+                TraceEvent::ItemShed { pair } => pair_seen(*pair, &mut pairs),
+                TraceEvent::OverloadEntered { pair, .. }
+                | TraceEvent::OverloadCleared { pair, .. } => pair_seen(*pair, &mut pairs),
             }
         }
         let pairs = pairs.max(1);

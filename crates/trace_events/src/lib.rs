@@ -37,7 +37,13 @@ use std::sync::{Arc, Mutex};
 /// injection, DESIGN.md §10). Zero-fault streams are byte-identical to
 /// v1 streams, and the digest covers events only, so golden digests
 /// survive the bump.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: added `ItemShed` / `OverloadEntered` / `OverloadCleared`
+/// (deadline-aware overload control, DESIGN.md §15). Streams recorded
+/// with overload control disabled contain none of the new variants and
+/// are byte-identical to v2 streams; golden digests survive the bump
+/// for the same reason as v2.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// What caused a consumer invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,6 +208,34 @@ pub enum TraceEvent {
         /// strategy has no pool (the oracle skips pool accounting then).
         pool_available: u64,
     },
+    /// The admission controller rejected one arriving item for `pair`
+    /// (DESIGN.md §15). A shed item still counts as produced — the
+    /// conservation law over a stream with sheds is
+    /// `produced == consumed + shed` — so every `ItemShed` follows the
+    /// `Produce` of the same arrival.
+    ItemShed {
+        /// Pair whose arrival was shed.
+        pair: u32,
+    },
+    /// A pair's admission controller tripped into overload: subsequent
+    /// arrivals are shed until the matching `OverloadCleared`.
+    OverloadEntered {
+        /// Pair entering overload.
+        pair: u32,
+        /// Buffered occupancy (backlog + buffer) at the trip.
+        occupancy: u64,
+        /// Whether the fleet supervisor forced the window (correlated
+        /// overload escalation) rather than the pair's own estimator.
+        escalated: bool,
+    },
+    /// A pair's overload window closed; admission resumed.
+    OverloadCleared {
+        /// Pair leaving overload.
+        pair: u32,
+        /// Items shed during this window — the oracle cross-checks
+        /// Σ shed over a pair's windows against its `ItemShed` count.
+        shed: u64,
+    },
     /// A fault's window closed and its effects were rolled back.
     FaultRecovered {
         /// Id of the fault that cleared.
@@ -285,6 +319,17 @@ impl TraceEvent {
             TraceEvent::FaultInjected {
                 id, kind, param, ..
             } => format!("FaultInjected(id={id}, kind={kind}, param={param})"),
+            TraceEvent::ItemShed { pair } => format!("ItemShed(pair={pair})"),
+            TraceEvent::OverloadEntered {
+                pair,
+                occupancy,
+                escalated,
+            } => format!(
+                "OverloadEntered(pair={pair}, occupancy={occupancy}, escalated={escalated})"
+            ),
+            TraceEvent::OverloadCleared { pair, shed } => {
+                format!("OverloadCleared(pair={pair}, shed={shed})")
+            }
             TraceEvent::FaultRecovered {
                 id, kind, param, ..
             } => format!("FaultRecovered(id={id}, kind={kind}, param={param})"),
@@ -664,6 +709,18 @@ mod tests {
                 param: 4,
                 pool_available: u64::MAX,
             },
+            TraceEvent::ItemShed { pair: 3 },
+            TraceEvent::OverloadEntered {
+                pair: 3,
+                occupancy: 47,
+                escalated: false,
+            },
+            TraceEvent::OverloadEntered {
+                pair: 1,
+                occupancy: 0,
+                escalated: true,
+            },
+            TraceEvent::OverloadCleared { pair: 3, shed: 12 },
         ];
         for (i, kind) in variants.into_iter().enumerate() {
             let event = Event {

@@ -192,6 +192,93 @@ proptest! {
     }
 
     #[test]
+    fn overload_control_keeps_the_shed_ledger_balanced_for_any_scenario(
+        scenario_idx in 0usize..10,
+        seed in 0u64..10_000,
+    ) {
+        // Overload control changes the conservation law to
+        // `produced == consumed + shed` — for *any* fault scenario
+        // (including the correlated ones built to trip it) and any
+        // expansion seed, the ledger must balance, every
+        // `OverloadEntered` must pair with an `OverloadCleared` whose
+        // shed count matches the `ItemShed` events in the window
+        // (the oracle enforces both), and the recording must replay
+        // bit-identically through the executable replay path from its
+        // `CellMeta` recipe alone (the `(overload)` label carries the
+        // whole overload config).
+        use pc_bench::oracle::CellMeta;
+        use pc_bench::replay::{first_divergence, rerun_cell};
+        use pcpower::core::OverloadConfig;
+        use pcpower::faults::{ExpandEnv, FaultPlan, FaultScenario};
+        use pcpower::trace_events::{Recorder, TraceEvent};
+        let scenarios: Vec<FaultScenario> = FaultScenario::correlated()
+            .into_iter()
+            .chain(FaultScenario::all())
+            .collect();
+        let scenario = scenarios[scenario_idx];
+        let (pairs, cores, buffer) = (5usize, 2usize, 25usize);
+        let duration = SimDuration::from_millis(250);
+        let plan = FaultPlan::expand(scenario, seed, &ExpandEnv {
+            horizon_ns: duration.as_nanos(),
+            pairs: pairs as u32,
+            cores: cores as u32,
+            pool_total: (buffer * pairs) as u64,
+        });
+        let recorder = Recorder::bounded(pc_bench::sweep::trace_capacity_from_env());
+        let m = Experiment::builder()
+            .pairs(pairs)
+            .cores(cores)
+            .duration(duration)
+            .strategy(StrategyKind::pbpl_default())
+            .trace(pcpower::trace::WorldCupConfig::quick_test())
+            .seed(seed)
+            .buffer_capacity(buffer)
+            .faults(plan)
+            .overload(OverloadConfig::standard())
+            .record_events(recorder.handle())
+            .run();
+        prop_assert_eq!(m.items_produced, m.items_consumed + m.items_shed,
+            "{} seed {}: {} produced != {} consumed + {} shed",
+            scenario.name(), seed, m.items_produced, m.items_consumed, m.items_shed);
+        prop_assert!(m.all_items_consumed());
+        let log = recorder.take();
+        prop_assert_eq!(log.dropped, 0);
+        let entered = log.events.iter()
+            .filter(|e| matches!(e.kind, TraceEvent::OverloadEntered { .. })).count();
+        let cleared = log.events.iter()
+            .filter(|e| matches!(e.kind, TraceEvent::OverloadCleared { .. })).count();
+        prop_assert_eq!(entered, cleared, "windows must pair up");
+        let shed_events = log.events.iter()
+            .filter(|e| matches!(e.kind, TraceEvent::ItemShed { .. })).count();
+        prop_assert_eq!(shed_events as u64, m.items_shed);
+        let report = pc_bench::oracle::check(&log);
+        prop_assert!(report.is_clean(),
+            "{} seed {}: oracle violations: {:?}",
+            scenario.name(), seed, report.violations);
+        let meta = CellMeta {
+            experiment: "proptest_overload".to_string(),
+            strategy: "PBPL(overload)".to_string(),
+            pairs: pairs as u64,
+            cores: cores as u64,
+            buffer: buffer as u64,
+            seed,
+            duration_ns: duration.as_nanos(),
+            workload: "worldcup_quick".to_string(),
+            scenario: scenario.name().to_string(),
+            period_ns: 0,
+            events: log.events.len() as u64,
+            dropped: log.dropped,
+            digest: log.digest(),
+        };
+        let rerun = rerun_cell(&meta);
+        prop_assert!(rerun.is_ok(), "rerun failed: {:?}", rerun.as_ref().err());
+        let rerun = rerun.unwrap();
+        prop_assert!(first_divergence(&log.events, &rerun.events).is_none(),
+            "{} seed {}: replay diverged", scenario.name(), seed);
+        prop_assert_eq!(rerun.digest(), log.digest());
+    }
+
+    #[test]
     fn slot_g_properties(delta_us in 1u64..100_000, t_ns in 0u64..10_000_000_000) {
         let track = SlotTrack::new(SimDuration::from_micros(delta_us));
         let t = SimTime::from_nanos(t_ns);
